@@ -1,0 +1,97 @@
+/// Regenerates Figure 5: qualitative reconstruction comparison on one test
+/// wedge for BCAE-2D, BCAE++ and BCAE-HT.
+///
+/// The paper shows image panels (ground truth, reconstruction, difference).
+/// Here one radial layer of the chosen wedge is rendered as ASCII intensity
+/// maps, and per-model difference statistics are printed.  Expected shape:
+/// BCAE++ produces the visually closest reconstruction (smallest difference
+/// energy), mirroring the paper's "noticeably different plots" observation.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "metrics/metrics.hpp"
+#include "tpc/dataset.hpp"
+
+namespace {
+
+/// ASCII intensity map of one radial layer (azim x horiz), downsampled 2x.
+void render_layer(const nc::core::Tensor& wedge, std::int64_t layer,
+                  const char* title) {
+  const std::int64_t azim = wedge.dim(1), horiz = wedge.dim(2);
+  static const char* shades = " .:-=+*#%@";
+  std::printf("%s (layer %lld, %lldx%lld, 6..10 -> ' '..'@')\n", title,
+              static_cast<long long>(layer), static_cast<long long>(azim / 2),
+              static_cast<long long>(horiz / 2));
+  for (std::int64_t a = 0; a + 1 < azim; a += 2) {
+    for (std::int64_t h = 0; h + 1 < horiz; h += 2) {
+      float v = 0.f;
+      for (std::int64_t da = 0; da < 2; ++da)
+        for (std::int64_t dh = 0; dh < 2; ++dh)
+          v = std::max(v, wedge.at({layer, a + da, h + dh}));
+      int idx = 0;
+      if (v > 0.f) {
+        idx = 1 + static_cast<int>((std::min(v, 10.f) - 6.f) / 4.f * 8.f);
+        idx = std::clamp(idx, 1, 9);
+      }
+      std::putchar(shades[idx]);
+    }
+    std::putchar('\n');
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace nc;
+  const auto& ds = bench::bench_dataset();
+
+  // One fixed test wedge (the paper also shows a single example).
+  const core::Tensor truth =
+      tpc::clip_horizontal(ds.test().front(), ds.valid_horiz());
+  const std::int64_t layer = 8;
+
+  render_layer(truth, layer, "\nground truth");
+
+  auto run = [&](bcae::BcaeModel&& model) {
+    auto tc = bench::bench_trainer_config(model.is_3d());
+    bench::train_model(model, ds, tc);
+
+    std::vector<std::int64_t> idx{0};
+    const core::Tensor batch = model.is_3d() ? ds.batch_3d(ds.test(), idx)
+                                             : ds.batch_2d(ds.test(), idx);
+    const auto heads = model.forward(batch, core::Mode::kEvalHalf);
+    core::Tensor recon = bcae::BcaeModel::reconstruct(heads);
+    recon = tpc::clip_horizontal(
+        recon.reshaped({truth.dim(0), truth.dim(1), ds.padded_horiz()}),
+        ds.valid_horiz());
+
+    std::printf("\n");
+    render_layer(recon, layer, ("reconstruction — " + model.name()).c_str());
+
+    const auto m = metrics::evaluate_reconstruction(recon, truth);
+    std::printf("difference stats — %s: MAE %.4f, max|diff| over layer: ",
+                model.name().c_str(), m.mae);
+    float max_diff = 0.f;
+    for (std::int64_t a = 0; a < truth.dim(1); ++a) {
+      for (std::int64_t h = 0; h < truth.dim(2); ++h) {
+        max_diff = std::max(max_diff, std::abs(recon.at({layer, a, h}) -
+                                               truth.at({layer, a, h})));
+      }
+    }
+    std::printf("%.3f, precision %.3f, recall %.3f\n", max_diff, m.precision,
+                m.recall);
+    return m.mae;
+  };
+
+  const double mae_2d = run(bcae::make_bcae_2d(bcae::Bcae2dConfig{}, 2023));
+  const double mae_pp = run(bcae::make_bcae_pp(2023));
+  const double mae_ht = run(bcae::make_bcae_ht(2023));
+
+  std::printf("\nshape check (paper: BCAE++ visibly most accurate): "
+              "BCAE++ MAE %.4f <= BCAE-2D %.4f: %s; <= BCAE-HT %.4f: %s\n",
+              mae_pp, mae_2d, mae_pp <= mae_2d ? "yes" : "NO", mae_ht,
+              mae_pp <= mae_ht ? "yes" : "NO");
+  return 0;
+}

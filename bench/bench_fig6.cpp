@@ -1,0 +1,99 @@
+/// Regenerates Figure 6:
+///   Panels A-C — encoder throughput vs batch size in half- and
+///                full-precision mode for BCAE-2D, BCAE++ and BCAE-HT.
+///   Panel D   — the profiling diagnostic behind BCAE-HT's small
+///               half-precision gain (tiny kernels; stands in for Nsight).
+///   Panel E   — BCAE-2D(m, n=8, d=3) throughput for m = 3..7 with encoder
+///               parameter counts at full scale.
+///
+/// Expected shapes: throughput grows with batch size and saturates (small
+/// batches cannot occupy all compute units); half > full for the larger
+/// models; BCAE-HT's half-precision advantage is the smallest because its
+/// kernels are too small to amortize the wide data path (the CPU analogue
+/// of "no tensor-core activity"); throughput falls as m grows.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/profiler.hpp"
+
+int main() {
+  using namespace nc;
+  const auto& ds = bench::bench_dataset();
+  const std::vector<std::int64_t> batches{1, 2, 4, 8, 16, 32, 48, 64, 96};
+
+  auto sweep = [&](bcae::BcaeModel& model, const char* panel) {
+    std::printf("\nPanel %s — %s: throughput (wedges/s) vs batch size\n",
+                panel, model.name().c_str());
+    bench::print_rule(72);
+    std::printf("%8s %16s %16s %10s\n", "batch", "full", "half", "half/full");
+    bench::print_rule(72);
+    double last_ratio = 0.0;
+    for (const auto b : batches) {
+      const double full =
+          bcae::encoder_throughput(model, ds, b, core::Mode::kEval, 0.4);
+      const double half =
+          bcae::encoder_throughput(model, ds, b, core::Mode::kEvalHalf, 0.4);
+      last_ratio = half / full;
+      std::printf("%8lld %16.1f %16.1f %9.2fx\n", static_cast<long long>(b),
+                  full, half, last_ratio);
+    }
+    bench::print_rule(72);
+    return last_ratio;
+  };
+
+  auto m2d = bcae::make_bcae_2d(bcae::Bcae2dConfig{}, 7);
+  auto mpp = bcae::make_bcae_pp(7);
+  auto mht = bcae::make_bcae_ht(7);
+  const double r2d = sweep(m2d, "A (BCAE-2D)");
+  const double rpp = sweep(mpp, "B (BCAE++)");
+  const double rht = sweep(mht, "C (BCAE-HT)");
+  std::printf("\nhalf-precision speedup at batch 96: 2D %.2fx, ++ %.2fx, "
+              "HT %.2fx (paper: ~1.76-1.79x for 2D/++, markedly less for HT)\n",
+              r2d, rpp, rht);
+  std::printf("HT gains least from half precision: %s\n",
+              (rht <= r2d && rht <= rpp) ? "yes" : "NO");
+
+  // Panel D: per-layer kernel diagnostic for BCAE-HT vs BCAE++ (why HT's
+  // half-precision speedup is small: its GEMMs are tiny).
+  std::printf("\nPanel D — kernel diagnostic (stand-in for the Nsight trace): "
+              "per-layer time and GEMM shapes, batch 32, half precision\n");
+  for (auto* model : {&mht, &mpp}) {
+    core::Profiler::instance().clear();
+    core::Profiler::instance().set_enabled(true);
+    (void)bcae::encoder_throughput(*model, ds, 32, core::Mode::kEvalHalf, 0.3);
+    core::Profiler::instance().set_enabled(false);
+    std::printf("\n%s encoder:\n%s", model->name().c_str(),
+                core::Profiler::instance().report().c_str());
+  }
+  std::printf("\nreading: BCAE-HT's largest GEMM K dimension is an order of "
+              "magnitude smaller than BCAE++'s — too little arithmetic per "
+              "byte for the fp16 data path to pay off, the CPU analogue of "
+              "the paper's 'no Tensor Core activity' finding.\n");
+
+  // Panel E: BCAE-2D(m, 8, 3) throughput + full-scale encoder sizes.
+  std::printf("\nPanel E — BCAE-2D(m, n=8, d=3) half-precision throughput\n");
+  bench::print_rule(72);
+  std::printf("%6s %22s %18s\n", "m", "encoder size (paper)", "throughput w/s");
+  bench::print_rule(72);
+  const double paper_sizes[] = {132.9, 169.0, 205.2, 241.3, 277.4};
+  double prev = 0.0;
+  bool monotone = true;
+  for (std::int64_t m = 3; m <= 7; ++m) {
+    bcae::Bcae2dConfig cfg;
+    cfg.m = m;
+    const std::int64_t full_params =
+        bcae::make_bcae_2d(cfg, 1).encoder_param_count();
+    auto model = bcae::make_bcae_2d(cfg, 7);
+    const double thr =
+        bcae::encoder_throughput(model, ds, 32, core::Mode::kEvalHalf, 0.4);
+    std::printf("%6lld %13.1fk (%5.1fk) %18.1f\n", static_cast<long long>(m),
+                full_params / 1000.0, paper_sizes[m - 3], thr);
+    if (prev > 0.0 && thr > prev * 1.05) monotone = false;
+    prev = thr;
+  }
+  bench::print_rule(72);
+  std::printf("throughput decreases with encoder depth m: %s\n",
+              monotone ? "yes" : "NO");
+  return 0;
+}

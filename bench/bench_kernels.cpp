@@ -1,0 +1,146 @@
+/// Google-benchmark microbenchmarks for the compute kernels underlying every
+/// table and figure: GEMM (fp32 + fp16-storage), im2col/vol2col lowering,
+/// and the four convolution layers at BCAE-representative shapes.
+///
+/// These isolate the substrate so regressions in the headline throughput
+/// numbers (Table 1, Fig. 6) can be attributed: if hgemm's advantage over
+/// sgemm disappears here, the half-precision speedup story collapses there.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/conv.hpp"
+#include "core/gemm.hpp"
+#include "core/im2col.hpp"
+#include "core/tensor.hpp"
+#include "util/half.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using nc::core::Tensor;
+
+Tensor random_tensor(nc::core::Shape shape, std::uint64_t seed) {
+  nc::util::Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+/// Conv-forward shaped GEMM: M = out channels, N = output pixels, K = lowered
+/// patch size (BCAE-2D residual-block conv at bench scale).
+void BM_SgemmConvShape(benchmark::State& state) {
+  const std::int64_t m = state.range(0), n = state.range(1), k = state.range(2);
+  const Tensor a = random_tensor({m, k}, 1);
+  const Tensor b = random_tensor({k, n}, 2);
+  Tensor c({m, n});
+  for (auto _ : state) {
+    nc::core::sgemm(false, false, m, n, k, 1.f, a.data(), k, b.data(), n, 0.f,
+                    c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
+}
+BENCHMARK(BM_SgemmConvShape)
+    ->Args({32, 3072, 784})   // BCAE-2D L_in (k=7)
+    ->Args({32, 768, 288})    // BCAE-2D resblock conv
+    ->Args({8, 12288, 48})    // BCAE++ stage-1 downsample
+    ->Args({2, 12288, 48});   // BCAE-HT stage-1 downsample (tiny M)
+
+void BM_HgemmConvShape(benchmark::State& state) {
+  const std::int64_t m = state.range(0), n = state.range(1), k = state.range(2);
+  const Tensor a = random_tensor({m, k}, 1);
+  const Tensor b = random_tensor({k, n}, 2);
+  std::vector<nc::util::half> ah(static_cast<std::size_t>(m * k));
+  std::vector<nc::util::half> bh(static_cast<std::size_t>(k * n));
+  nc::util::float_to_half_n(a.data(), ah.data(), m * k);
+  nc::util::float_to_half_n(b.data(), bh.data(), k * n);
+  Tensor c({m, n});
+  for (auto _ : state) {
+    nc::core::hgemm(m, n, k, ah.data(), k, bh.data(), n, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
+}
+BENCHMARK(BM_HgemmConvShape)
+    ->Args({32, 3072, 784})
+    ->Args({32, 768, 288})
+    ->Args({8, 12288, 48})
+    ->Args({2, 12288, 48});
+
+void BM_Im2col2d(benchmark::State& state) {
+  nc::core::Conv2dGeom g;
+  g.c = 32;
+  g.h = 48;
+  g.w = 64;
+  g.kh = g.kw = 3;
+  g.ph = g.pw = 1;
+  const Tensor x = random_tensor({g.c * g.h * g.w}, 3);
+  std::vector<float> cols(static_cast<std::size_t>(g.rows() * g.cols()));
+  for (auto _ : state) {
+    nc::core::im2col_2d(x.data(), g, cols.data());
+    benchmark::DoNotOptimize(cols.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(
+                                                   cols.size() * sizeof(float)));
+}
+BENCHMARK(BM_Im2col2d);
+
+void BM_Vol2col3dHalf(benchmark::State& state) {
+  nc::core::Conv3dGeom g;
+  g.c = 8;
+  g.d = 16;
+  g.h = 24;
+  g.w = 32;
+  g.kd = 3;
+  g.kh = g.kw = 4;
+  g.sd = 1;
+  g.sh = g.sw = 2;
+  g.pd = g.ph = g.pw = 1;
+  const Tensor x = random_tensor({g.c * g.d * g.h * g.w}, 4);
+  std::vector<nc::util::half> xh(static_cast<std::size_t>(x.numel()));
+  nc::util::float_to_half_n(x.data(), xh.data(), x.numel());
+  std::vector<nc::util::half> cols(static_cast<std::size_t>(g.rows() * g.cols()));
+  for (auto _ : state) {
+    nc::core::vol2col_3d(xh.data(), g, cols.data());
+    benchmark::DoNotOptimize(cols.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(
+                                                   cols.size() * sizeof(nc::util::half)));
+}
+BENCHMARK(BM_Vol2col3dHalf);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const bool half = state.range(0) != 0;
+  nc::util::Rng rng(5);
+  nc::core::Conv2d conv(16, 32, {7, 7}, {1, 1}, {3, 3}, true, rng);
+  const Tensor x = random_tensor({4, 16, 48, 64}, 6);
+  const auto mode = half ? nc::core::Mode::kEvalHalf : nc::core::Mode::kEval;
+  for (auto _ : state) {
+    auto y = conv.forward(x, mode);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4);  // wedges
+}
+BENCHMARK(BM_Conv2dForward)->Arg(0)->Arg(1);
+
+void BM_ConvTranspose3dForward(benchmark::State& state) {
+  const bool half = state.range(0) != 0;
+  nc::util::Rng rng(7);
+  nc::core::ConvTranspose3d deconv(32, 32, {3, 4, 4}, {1, 2, 2}, {1, 1, 1},
+                                   true, rng);
+  const Tensor x = random_tensor({2, 32, 16, 6, 8}, 8);
+  const auto mode = half ? nc::core::Mode::kEvalHalf : nc::core::Mode::kEval;
+  for (auto _ : state) {
+    auto y = deconv.forward(x, mode);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_ConvTranspose3dForward)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

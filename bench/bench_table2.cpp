@@ -1,0 +1,52 @@
+/// Regenerates Table 2: reconstruction accuracy in full- vs half-precision
+/// computation mode for BCAE-2D, BCAE++ and BCAE-HT.
+///
+/// The paper's claim — and the property that must reproduce exactly here,
+/// because our fp16 path uses the same numerics contract as tensor cores
+/// (binary16 operands, float32 accumulation) — is that half precision is
+/// accuracy-neutral: MAE/precision/recall agree to ~4 decimal places.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "metrics/metrics.hpp"
+
+int main() {
+  using namespace nc;
+  const auto& ds = bench::bench_dataset();
+
+  std::printf("\nTable 2 — reconstruction accuracy in full- and half-precision "
+              "computation mode\n");
+  bench::print_rule(88);
+  std::printf("%-22s %-6s %12s %12s %12s %14s\n", "model", "mode", "MAE",
+              "precision", "recall", "|Δ| vs full");
+  bench::print_rule(88);
+
+  auto run = [&](bcae::BcaeModel&& model) {
+    auto tc = bench::bench_trainer_config(model.is_3d());
+    tc.epochs = std::max<std::int64_t>(2, tc.epochs / 2);  // parity needs no
+    bench::train_model(model, ds, tc);                     // long training
+    const auto full =
+        bcae::evaluate_model(model, ds, ds.test(), core::Mode::kEval, 8);
+    const auto half =
+        bcae::evaluate_model(model, ds, ds.test(), core::Mode::kEvalHalf, 8);
+    std::printf("%-22s %-6s %12.6f %12.6f %12.6f %14s\n", model.name().c_str(),
+                "full", full.mae, full.precision, full.recall, "");
+    std::printf("%-22s %-6s %12.6f %12.6f %12.6f %14.2e\n", "", "half",
+                half.mae, half.precision, half.recall,
+                std::abs(half.mae - full.mae));
+    const bool parity = std::abs(half.mae - full.mae) < 0.01 * (full.mae + 0.01) &&
+                        std::abs(half.precision - full.precision) < 0.01 &&
+                        std::abs(half.recall - full.recall) < 0.01;
+    std::printf("%-22s parity within 1%%: %s\n", "", parity ? "yes" : "NO");
+  };
+
+  run(bcae::make_bcae_2d(bcae::Bcae2dConfig{}, 2023));
+  run(bcae::make_bcae_pp(2023));
+  run(bcae::make_bcae_ht(2023));
+  bench::print_rule(88);
+  std::printf("paper (full scale): BCAE-2D 0.151937/0.905469/0.906916 full vs "
+              "0.151965/0.905326/0.907050 half;\n"
+              "BCAE++ 0.112347 vs 0.112342; BCAE-HT 0.138443 vs 0.138441 — "
+              "differences at the 4th-5th decimal, i.e. accuracy-neutral.\n");
+  return 0;
+}

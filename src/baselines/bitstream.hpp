@@ -1,0 +1,198 @@
+/// \file bitstream.hpp
+/// \brief Byte-oriented token stream shared by the learning-free codecs:
+///        varint + zigzag integers, raw floats, and zero-run tokens.
+///
+/// Sparse TPC data is mostly runs of exact zeros; run-length tokens give the
+/// predictive coders their entropy stage without a full arithmetic coder.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace nc::baselines {
+
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t b) { bytes_.push_back(b); }
+
+  void put_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      bytes_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    bytes_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  /// Signed integer via zigzag mapping (small magnitudes -> short codes).
+  void put_svarint(std::int64_t v) {
+    put_varint((static_cast<std::uint64_t>(v) << 1) ^
+               static_cast<std::uint64_t>(v >> 63));
+  }
+
+  void put_f32(float f) {
+    std::uint8_t buf[4];
+    std::memcpy(buf, &f, 4);
+    bytes_.insert(bytes_.end(), buf, buf + 4);
+  }
+
+  void put_u16(std::uint16_t v) {
+    bytes_.push_back(static_cast<std::uint8_t>(v));
+    bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void put_i64(std::int64_t v) {
+    std::uint8_t buf[8];
+    std::memcpy(buf, &v, 8);
+    bytes_.insert(bytes_.end(), buf, buf + 8);
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  std::size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+
+  std::uint8_t get_u8() {
+    check(1);
+    return data_[pos_++];
+  }
+
+  std::uint64_t get_varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      check(1);
+      const std::uint8_t b = data_[pos_++];
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if (!(b & 0x80)) break;
+      shift += 7;
+      if (shift > 63) throw std::runtime_error("varint overflow");
+    }
+    return v;
+  }
+
+  std::int64_t get_svarint() {
+    const std::uint64_t u = get_varint();
+    return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+  }
+
+  float get_f32() {
+    check(4);
+    float f;
+    std::memcpy(&f, data_ + pos_, 4);
+    pos_ += 4;
+    return f;
+  }
+
+  std::uint16_t get_u16() {
+    check(2);
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+
+  std::int64_t get_i64() {
+    check(8);
+    std::int64_t v;
+    std::memcpy(&v, data_ + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  void check(std::size_t n) const {
+    if (pos_ + n > size_) throw std::runtime_error("bitstream underrun");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Compact encoder for streams of quantization bins dominated by zeros.
+/// Wire format (all varints):
+///   zigzag(bin)            for bin != 0   (zigzag of nonzero is >= 1)
+///   0, run                 for `run` consecutive zero bins (run >= 1)
+///   0, 0, f32              for a literal (unpredictable) value
+class QuantEncoder {
+ public:
+  explicit QuantEncoder(ByteWriter& w) : w_(w) {}
+  ~QuantEncoder() { flush(); }
+
+  void put_bin(std::int64_t bin) {
+    if (bin == 0) {
+      ++run_;
+      return;
+    }
+    flush();
+    w_.put_varint((static_cast<std::uint64_t>(bin) << 1) ^
+                  static_cast<std::uint64_t>(bin >> 63));
+  }
+
+  void put_literal(float f) {
+    flush();
+    w_.put_varint(0);
+    w_.put_varint(0);
+    w_.put_f32(f);
+  }
+
+  void flush() {
+    if (run_) {
+      w_.put_varint(0);
+      w_.put_varint(run_);
+      run_ = 0;
+    }
+  }
+
+ private:
+  ByteWriter& w_;
+  std::uint64_t run_ = 0;
+};
+
+/// Decoder counterpart of QuantEncoder.
+class QuantDecoder {
+ public:
+  explicit QuantDecoder(ByteReader& r) : r_(r) {}
+
+  struct Event {
+    enum class Kind { kBin, kZeroRun, kLiteral } kind;
+    std::int64_t bin = 0;
+    std::uint64_t run = 0;
+    float literal = 0.f;
+  };
+
+  Event next() {
+    Event e{};
+    const std::uint64_t v = r_.get_varint();
+    if (v != 0) {
+      e.kind = Event::Kind::kBin;
+      e.bin = static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+      return e;
+    }
+    const std::uint64_t run = r_.get_varint();
+    if (run != 0) {
+      e.kind = Event::Kind::kZeroRun;
+      e.run = run;
+      return e;
+    }
+    e.kind = Event::Kind::kLiteral;
+    e.literal = r_.get_f32();
+    return e;
+  }
+
+ private:
+  ByteReader& r_;
+};
+
+}  // namespace nc::baselines

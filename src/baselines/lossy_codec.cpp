@@ -1,0 +1,20 @@
+#include "baselines/lossy_codec.hpp"
+
+#include "baselines/bitstream.hpp"
+
+namespace nc::baselines {
+
+void write_shape(ByteWriter& w, const core::Shape& shape) {
+  w.put_varint(shape.size());
+  for (auto d : shape) w.put_i64(d);
+}
+
+core::Shape read_shape(ByteReader& r) {
+  const std::uint64_t rank = r.get_varint();
+  if (rank > 8) throw std::runtime_error("shape rank implausible");
+  core::Shape shape(rank);
+  for (auto& d : shape) d = r.get_i64();
+  return shape;
+}
+
+}  // namespace nc::baselines

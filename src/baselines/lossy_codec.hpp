@@ -1,0 +1,51 @@
+/// \file lossy_codec.hpp
+/// \brief Common interface for the learning-free lossy compressors the
+///        paper positions BCAE against (SZ, ZFP, MGARD — §1).
+///
+/// These are faithful-in-spirit "lite" re-implementations: each uses its
+/// original's core mechanism (error-bounded Lorenzo prediction for SZ,
+/// fixed-rate block transform coding for ZFP, multilevel decimation with
+/// error-quantized corrections for MGARD), with a shared run-length/varint
+/// entropy stage instead of the originals' custom coders.  They exist so
+/// the repository can *demonstrate* the paper's motivating claim — generic
+/// lossy compressors handle sparse zero-suppressed TPC wedges poorly — not
+/// to reproduce the exact SZ/ZFP/MGARD numbers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace nc::baselines {
+
+class LossyCodec {
+ public:
+  virtual ~LossyCodec() = default;
+
+  /// Compress a log-ADC wedge (any-rank tensor; shape is stored).
+  virtual std::vector<std::uint8_t> compress(const core::Tensor& wedge) = 0;
+
+  /// Reconstruct; the returned tensor has the original shape.
+  virtual core::Tensor decompress(const std::vector<std::uint8_t>& bytes) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Ratio vs storing the input as 16-bit floats — the same accounting used
+/// for the BCAE code (§3.1), so baseline and BCAE ratios are comparable.
+inline double baseline_compression_ratio(std::int64_t voxels,
+                                         std::size_t compressed_bytes) {
+  return compressed_bytes
+             ? static_cast<double>(voxels * 2) /
+                   static_cast<double>(compressed_bytes)
+             : 0.0;
+}
+
+/// Write / read a tensor shape header.
+void write_shape(class ByteWriter& w, const core::Shape& shape);
+core::Shape read_shape(class ByteReader& r);
+
+}  // namespace nc::baselines

@@ -1,0 +1,157 @@
+#include "baselines/mgard_lite.hpp"
+
+#include <cmath>
+
+#include "baselines/bitstream.hpp"
+#include "util/half.hpp"
+
+namespace nc::baselines {
+
+namespace {
+
+/// Average-pool the last two axes by 2 (ceil extents, edge replication).
+core::Tensor downsample(const core::Tensor& t) {
+  const std::int64_t d0 = t.dim(0), d1 = t.dim(1), d2 = t.dim(2);
+  const std::int64_t o1 = (d1 + 1) / 2, o2 = (d2 + 1) / 2;
+  core::Tensor out({d0, o1, o2});
+  for (std::int64_t i = 0; i < d0; ++i) {
+    for (std::int64_t j = 0; j < o1; ++j) {
+      for (std::int64_t k = 0; k < o2; ++k) {
+        double acc = 0.0;
+        int cnt = 0;
+        for (std::int64_t dj = 0; dj < 2; ++dj) {
+          for (std::int64_t dk = 0; dk < 2; ++dk) {
+            const std::int64_t j2 = j * 2 + dj, k2 = k * 2 + dk;
+            if (j2 < d1 && k2 < d2) {
+              acc += t.at({i, j2, k2});
+              ++cnt;
+            }
+          }
+        }
+        out.at({i, j, k}) = static_cast<float>(acc / cnt);
+      }
+    }
+  }
+  return out;
+}
+
+/// Nearest-neighbour upsample of the last two axes to the given extents.
+core::Tensor upsample(const core::Tensor& t, std::int64_t d1, std::int64_t d2) {
+  const std::int64_t d0 = t.dim(0);
+  core::Tensor out({d0, d1, d2});
+  for (std::int64_t i = 0; i < d0; ++i) {
+    for (std::int64_t j = 0; j < d1; ++j) {
+      for (std::int64_t k = 0; k < d2; ++k) {
+        out.at({i, j, k}) = t.at({i, j / 2, k / 2});
+      }
+    }
+  }
+  return out;
+}
+
+/// Quantize `residual = truth - base` into the token stream and apply the
+/// reconstruction in place (base += bin * 2eb), so encoder and decoder see
+/// identical grids at every level.
+void encode_residual(ByteWriter& w, core::Tensor& base,
+                     const core::Tensor& truth, double two_eb) {
+  QuantEncoder enc(w);
+  for (std::int64_t i = 0; i < truth.numel(); ++i) {
+    const double res = static_cast<double>(truth[i]) - base[i];
+    const auto bin = static_cast<std::int64_t>(std::llround(res / two_eb));
+    enc.put_bin(bin);
+    if (bin != 0) base[i] += static_cast<float>(bin * two_eb);
+  }
+  enc.flush();
+}
+
+void decode_residual(ByteReader& r, core::Tensor& base, double two_eb) {
+  QuantDecoder dec(r);
+  std::int64_t i = 0;
+  const std::int64_t n = base.numel();
+  while (i < n) {
+    const auto e = dec.next();
+    switch (e.kind) {
+      case QuantDecoder::Event::Kind::kBin:
+        base[i] += static_cast<float>(e.bin * two_eb);
+        ++i;
+        break;
+      case QuantDecoder::Event::Kind::kZeroRun:
+        i += static_cast<std::int64_t>(e.run);
+        break;
+      case QuantDecoder::Event::Kind::kLiteral:
+        throw std::runtime_error("mgard-lite: unexpected literal token");
+    }
+  }
+}
+
+}  // namespace
+
+std::string MgardLite::name() const {
+  return "mgard-lite(eb=" + std::to_string(eb_) + ",L=" + std::to_string(levels_) + ")";
+}
+
+std::vector<std::uint8_t> MgardLite::compress(const core::Tensor& wedge) {
+  if (wedge.ndim() != 3) {
+    throw std::invalid_argument("mgard-lite: expects a 3-D wedge");
+  }
+  ByteWriter w;
+  write_shape(w, wedge.shape());
+  w.put_f32(eb_);
+  w.put_u8(static_cast<std::uint8_t>(levels_));
+
+  // Build the grid hierarchy fine -> coarse.
+  std::vector<core::Tensor> pyramid{wedge};
+  for (int l = 0; l < levels_; ++l) pyramid.push_back(downsample(pyramid.back()));
+
+  // Coarsest grid: store as binary16 (its quantization error is << eb for
+  // log-ADC magnitudes <= 10).
+  // Coarsest grid is stored in binary16; the encoder must continue from the
+  // *quantized* values so encoder and decoder reconstructions stay
+  // bit-identical (otherwise the fp16 rounding would leak past the error
+  // bound of the final correction level).
+  const core::Tensor& coarse = pyramid.back();
+  core::Tensor recon = coarse.clone();
+  for (std::int64_t i = 0; i < coarse.numel(); ++i) {
+    const util::half h(coarse[i]);
+    w.put_u16(h.bits());
+    recon[i] = static_cast<float>(h);
+  }
+  for (int l = levels_ - 1; l >= 0; --l) {
+    const core::Tensor& truth = pyramid[static_cast<std::size_t>(l)];
+    core::Tensor up = upsample(recon, truth.dim(1), truth.dim(2));
+    const double level_eb = (l == 0) ? eb_ : eb_ * 0.5;
+    encode_residual(w, up, truth, 2.0 * level_eb);
+    recon = std::move(up);
+  }
+  return w.take();
+}
+
+core::Tensor MgardLite::decompress(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  const core::Shape shape = read_shape(r);
+  const float eb = r.get_f32();
+  const int levels = r.get_u8();
+
+  // Recover the level extents.
+  std::vector<std::pair<std::int64_t, std::int64_t>> dims;
+  dims.emplace_back(shape[1], shape[2]);
+  for (int l = 0; l < levels; ++l) {
+    dims.emplace_back((dims.back().first + 1) / 2, (dims.back().second + 1) / 2);
+  }
+
+  core::Tensor recon({shape[0], dims.back().first, dims.back().second});
+  for (std::int64_t i = 0; i < recon.numel(); ++i) {
+    recon[i] = static_cast<float>(util::half::from_bits(r.get_u16()));
+  }
+
+  for (int l = levels - 1; l >= 0; --l) {
+    core::Tensor up = upsample(recon, dims[static_cast<std::size_t>(l)].first,
+                               dims[static_cast<std::size_t>(l)].second);
+    const double level_eb = (l == 0) ? eb : eb * 0.5;
+    decode_residual(r, up, 2.0 * level_eb);
+    recon = std::move(up);
+  }
+  return recon.reshaped(shape);
+}
+
+}  // namespace nc::baselines

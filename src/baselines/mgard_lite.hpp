@@ -1,0 +1,32 @@
+/// \file mgard_lite.hpp
+/// \brief Multilevel decimation compressor in the style of MGARD
+///        (Ainsworth et al.): a coarse-grid representation plus
+///        error-quantized multilevel correction terms.
+///
+/// Levels decimate the azimuthal and horizontal axes by 2 (radial stays,
+/// matching the TPC wedge anisotropy).  The coarsest grid is stored as
+/// binary16; each finer level stores the residual between the true grid and
+/// the upsampled coarser reconstruction, quantized to the error bound and
+/// entropy-coded with the shared zero-run token stream.  Guarantees
+/// |recon - x| <= error_bound on every voxel (tested).
+#pragma once
+
+#include "baselines/lossy_codec.hpp"
+
+namespace nc::baselines {
+
+class MgardLite final : public LossyCodec {
+ public:
+  explicit MgardLite(float error_bound = 0.25f, int levels = 3)
+      : eb_(error_bound), levels_(levels) {}
+
+  std::vector<std::uint8_t> compress(const core::Tensor& wedge) override;
+  core::Tensor decompress(const std::vector<std::uint8_t>& bytes) override;
+  std::string name() const override;
+
+ private:
+  float eb_;
+  int levels_;
+};
+
+}  // namespace nc::baselines

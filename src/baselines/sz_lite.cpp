@@ -1,0 +1,90 @@
+#include "baselines/sz_lite.hpp"
+
+#include <cmath>
+
+#include "baselines/bitstream.hpp"
+
+namespace nc::baselines {
+
+namespace {
+constexpr std::int64_t kMaxBin = 1 << 20;  ///< beyond this: literal fallback
+}  // namespace
+
+std::string SzLite::name() const {
+  return "sz-lite(eb=" + std::to_string(eb_) + ")";
+}
+
+std::vector<std::uint8_t> SzLite::compress(const core::Tensor& wedge) {
+  ByteWriter w;
+  write_shape(w, wedge.shape());
+  w.put_f32(eb_);
+
+  const std::int64_t row = wedge.ndim() >= 1 ? wedge.dim(wedge.ndim() - 1) : 1;
+  const std::int64_t rows = row ? wedge.numel() / row : 0;
+  const float* x = wedge.data();
+  const double two_eb = 2.0 * eb_;
+
+  QuantEncoder enc(w);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* px = x + r * row;
+    // Prediction restarts per row so rows stay independently decodable and
+    // azimuthally-adjacent tracks don't leak across row boundaries.
+    double pred = 0.0;
+    for (std::int64_t i = 0; i < row; ++i) {
+      const double residual = static_cast<double>(px[i]) - pred;
+      const auto bin = static_cast<std::int64_t>(std::llround(residual / two_eb));
+      if (std::abs(bin) >= kMaxBin) {
+        enc.put_literal(px[i]);
+        pred = px[i];
+        continue;
+      }
+      enc.put_bin(bin);
+      // Track the *decoder's* reconstruction to prevent error drift.
+      pred += static_cast<double>(bin) * two_eb;
+    }
+  }
+  enc.flush();
+  return w.take();
+}
+
+core::Tensor SzLite::decompress(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  const core::Shape shape = read_shape(r);
+  const float eb = r.get_f32();
+  const double two_eb = 2.0 * eb;
+
+  core::Tensor out(shape);
+  const std::int64_t row = out.ndim() >= 1 ? out.dim(out.ndim() - 1) : 1;
+  const std::int64_t n = out.numel();
+  float* y = out.data();
+
+  QuantDecoder dec(r);
+  double pred = 0.0;
+  std::int64_t i = 0;
+  std::uint64_t pending_zero = 0;
+  while (i < n) {
+    if (i % row == 0) pred = 0.0;  // row restart, mirrors the encoder
+    if (pending_zero) {
+      --pending_zero;
+      y[i++] = static_cast<float>(pred);
+      continue;
+    }
+    const auto e = dec.next();
+    switch (e.kind) {
+      case QuantDecoder::Event::Kind::kBin:
+        pred += static_cast<double>(e.bin) * two_eb;
+        y[i++] = static_cast<float>(pred);
+        break;
+      case QuantDecoder::Event::Kind::kZeroRun:
+        pending_zero = e.run;
+        break;
+      case QuantDecoder::Event::Kind::kLiteral:
+        pred = e.literal;
+        y[i++] = static_cast<float>(pred);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace nc::baselines

@@ -1,0 +1,30 @@
+/// \file sz_lite.hpp
+/// \brief Error-bounded predictive compressor in the style of SZ
+///        (Di & Cappello, IPDPS'16): Lorenzo prediction + error-controlled
+///        quantization + entropy stage.
+///
+/// Guarantee: every reconstructed value differs from the original by at
+/// most `error_bound` (absolute, in log-ADC units) — verified by tests.
+/// Prediction runs along the horizontal (drift-time) axis, the most
+/// correlated direction of a TPC wedge.
+#pragma once
+
+#include "baselines/lossy_codec.hpp"
+
+namespace nc::baselines {
+
+class SzLite final : public LossyCodec {
+ public:
+  explicit SzLite(float error_bound = 0.25f) : eb_(error_bound) {}
+
+  std::vector<std::uint8_t> compress(const core::Tensor& wedge) override;
+  core::Tensor decompress(const std::vector<std::uint8_t>& bytes) override;
+  std::string name() const override;
+
+  float error_bound() const { return eb_; }
+
+ private:
+  float eb_;
+};
+
+}  // namespace nc::baselines

@@ -1,0 +1,203 @@
+#include "baselines/zfp_lite.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "baselines/bitstream.hpp"
+
+namespace nc::baselines {
+
+namespace {
+
+/// ZFP's 4-point forward lifting transform (integer, in-place).
+inline void fwd_lift(std::int32_t* p, std::ptrdiff_t s) {
+  std::int32_t x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
+  x += w;
+  x >>= 1;
+  w -= x;
+  z += y;
+  z >>= 1;
+  y -= z;
+  x += z;
+  x >>= 1;
+  z -= x;
+  w += y;
+  w >>= 1;
+  y -= w;
+  w += y >> 1;
+  y -= w >> 1;
+  p[0 * s] = x;
+  p[1 * s] = y;
+  p[2 * s] = z;
+  p[3 * s] = w;
+}
+
+/// Inverse of fwd_lift.
+inline void inv_lift(std::int32_t* p, std::ptrdiff_t s) {
+  std::int32_t x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
+  y += w >> 1;
+  w -= y >> 1;
+  y += w;
+  w <<= 1;
+  w -= y;
+  z += x;
+  x <<= 1;
+  x -= z;
+  y += z;
+  z <<= 1;
+  z -= y;
+  w += x;
+  x <<= 1;
+  x -= w;
+  p[0 * s] = x;
+  p[1 * s] = y;
+  p[2 * s] = z;
+  p[3 * s] = w;
+}
+
+/// Coefficient visiting order: ascending total frequency (i+j+k), the 3-D
+/// analogue of JPEG's zigzag.  Computed once.
+const std::array<int, 64>& zonal_order() {
+  static const std::array<int, 64> order = [] {
+    std::array<int, 64> idx{};
+    for (int i = 0; i < 64; ++i) idx[static_cast<std::size_t>(i)] = i;
+    std::stable_sort(idx.begin(), idx.end(), [](int a, int b) {
+      const int fa = (a & 3) + ((a >> 2) & 3) + ((a >> 4) & 3);
+      const int fb = (b & 3) + ((b >> 2) & 3) + ((b >> 4) & 3);
+      return fa < fb;
+    });
+    return idx;
+  }();
+  return order;
+}
+
+constexpr std::int32_t kQuantRange = 1 << 14;  // int16-safe after transform
+
+}  // namespace
+
+std::string ZfpLite::name() const {
+  return "zfp-lite(rate=" + std::to_string(rate_bits_) + "bps)";
+}
+
+std::vector<std::uint8_t> ZfpLite::compress(const core::Tensor& wedge) {
+  if (wedge.ndim() != 3) {
+    throw std::invalid_argument("zfp-lite: expects a 3-D wedge");
+  }
+  const std::int64_t d0 = wedge.dim(0), d1 = wedge.dim(1), d2 = wedge.dim(2);
+  const std::int64_t b0 = (d0 + 3) / 4, b1 = (d1 + 3) / 4, b2 = (d2 + 3) / 4;
+
+  ByteWriter w;
+  write_shape(w, wedge.shape());
+  w.put_u8(static_cast<std::uint8_t>(rate_bits_));
+
+  const int kept = kept_coefficients();
+  const auto& order = zonal_order();
+  const float* x = wedge.data();
+
+  for (std::int64_t bi = 0; bi < b0; ++bi) {
+    for (std::int64_t bj = 0; bj < b1; ++bj) {
+      for (std::int64_t bk = 0; bk < b2; ++bk) {
+        // Gather the 4x4x4 block (zero padded at the far edges).
+        float vals[64];
+        float max_abs = 0.f;
+        for (int i = 0; i < 4; ++i) {
+          for (int j = 0; j < 4; ++j) {
+            for (int k = 0; k < 4; ++k) {
+              const std::int64_t gi = bi * 4 + i, gj = bj * 4 + j, gk = bk * 4 + k;
+              float v = 0.f;
+              if (gi < d0 && gj < d1 && gk < d2) {
+                v = x[(gi * d1 + gj) * d2 + gk];
+              }
+              vals[(i * 4 + j) * 4 + k] = v;
+              max_abs = std::max(max_abs, std::abs(v));
+            }
+          }
+        }
+        if (max_abs == 0.f) {
+          w.put_u8(0);  // empty block: the sparse-data fast path
+          continue;
+        }
+        w.put_u8(1);
+
+        // Block-floating-point alignment to a power of two.
+        const int emax = std::ilogb(max_abs);
+        w.put_u8(static_cast<std::uint8_t>(emax + 128));
+        const float scale = std::ldexp(1.f, -emax) * static_cast<float>(kQuantRange / 2);
+
+        std::int32_t q[64];
+        for (int i = 0; i < 64; ++i) {
+          q[i] = static_cast<std::int32_t>(std::lround(vals[i] * scale));
+        }
+        // Separable lifting along k, j, i.
+        for (int i = 0; i < 4; ++i)
+          for (int j = 0; j < 4; ++j) fwd_lift(q + (i * 4 + j) * 4, 1);
+        for (int i = 0; i < 4; ++i)
+          for (int k = 0; k < 4; ++k) fwd_lift(q + i * 16 + k, 4);
+        for (int j = 0; j < 4; ++j)
+          for (int k = 0; k < 4; ++k) fwd_lift(q + j * 4 + k, 16);
+
+        // Zonal selection: keep the `kept` lowest-frequency coefficients.
+        for (int c = 0; c < kept; ++c) {
+          const std::int32_t v = q[order[static_cast<std::size_t>(c)]];
+          const std::int32_t clamped =
+              std::clamp<std::int32_t>(v, -32768, 32767);
+          w.put_u16(static_cast<std::uint16_t>(static_cast<std::int16_t>(clamped)));
+        }
+      }
+    }
+  }
+  return w.take();
+}
+
+core::Tensor ZfpLite::decompress(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  const core::Shape shape = read_shape(r);
+  const int rate = r.get_u8();
+  const int kept = rate * 64 / 16;
+
+  core::Tensor out(shape);
+  const std::int64_t d0 = shape[0], d1 = shape[1], d2 = shape[2];
+  const std::int64_t b0 = (d0 + 3) / 4, b1 = (d1 + 3) / 4, b2 = (d2 + 3) / 4;
+  const auto& order = zonal_order();
+  float* y = out.data();
+
+  for (std::int64_t bi = 0; bi < b0; ++bi) {
+    for (std::int64_t bj = 0; bj < b1; ++bj) {
+      for (std::int64_t bk = 0; bk < b2; ++bk) {
+        if (r.get_u8() == 0) continue;  // empty block, output stays zero
+        const int emax = static_cast<int>(r.get_u8()) - 128;
+
+        std::int32_t q[64] = {};
+        for (int c = 0; c < kept; ++c) {
+          q[order[static_cast<std::size_t>(c)]] =
+              static_cast<std::int16_t>(r.get_u16());
+        }
+        // Inverse lifting in reverse axis order.
+        for (int j = 0; j < 4; ++j)
+          for (int k = 0; k < 4; ++k) inv_lift(q + j * 4 + k, 16);
+        for (int i = 0; i < 4; ++i)
+          for (int k = 0; k < 4; ++k) inv_lift(q + i * 16 + k, 4);
+        for (int i = 0; i < 4; ++i)
+          for (int j = 0; j < 4; ++j) inv_lift(q + (i * 4 + j) * 4, 1);
+
+        const float inv_scale =
+            std::ldexp(1.f, emax) / static_cast<float>(kQuantRange / 2);
+        for (int i = 0; i < 4; ++i) {
+          for (int j = 0; j < 4; ++j) {
+            for (int k = 0; k < 4; ++k) {
+              const std::int64_t gi = bi * 4 + i, gj = bj * 4 + j, gk = bk * 4 + k;
+              if (gi < d0 && gj < d1 && gk < d2) {
+                y[(gi * d1 + gj) * d2 + gk] =
+                    static_cast<float>(q[(i * 4 + j) * 4 + k]) * inv_scale;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace nc::baselines

@@ -1,0 +1,63 @@
+/// \file config.hpp
+/// \brief Hyper-parameter descriptions of the four BCAE variants.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace nc::bcae {
+
+/// BCAE-2D(m, n, d) per Algorithms 1–2: the TPC radial dimension becomes the
+/// channel dimension of a 2-D image.
+struct Bcae2dConfig {
+  std::int64_t m = 4;   ///< encoder blocks (grid-searched 3..7 in Fig. 6E/7)
+  std::int64_t n = 8;   ///< decoder blocks (grid-searched 3..11 in Fig. 7)
+  std::int64_t d = 3;   ///< down/upsampling layers (fixed at 3 => CR 31.125)
+  std::int64_t width = 32;          ///< trunk feature width
+  std::int64_t code_channels = 32;  ///< §3.1: code shape (32, H/8, W/8)
+  std::int64_t input_channels = 16; ///< radial layers of a wedge
+
+  std::string to_string() const {
+    return "BCAE-2D(m=" + std::to_string(m) + ",n=" + std::to_string(n) +
+           ",d=" + std::to_string(d) + ")";
+  }
+};
+
+/// 3-D variants (BCAE++ / BCAE-HT / original BCAE).  Input is the wedge as a
+/// single-channel volume (1, 16, azim, horiz); four stages halve the
+/// azimuthal and horizontal axes (never the 16-layer radial axis), giving
+/// code shape (code_channels, 16, azim/16, horiz/16) — (8, 16, 12, 16) at
+/// paper scale (§3.1).
+struct Bcae3dConfig {
+  /// Output features of the four encoder stages.
+  /// BCAE++ / original: (8, 16, 32, 32);  BCAE-HT: (2, 4, 4, 8)  (§2.3).
+  std::array<std::int64_t, 4> features{8, 16, 32, 32};
+  std::int64_t code_channels = 8;
+  /// Decoder stage widths, innermost first (mirrors the encoder by default).
+  std::array<std::int64_t, 4> decoder_features{32, 32, 16, 8};
+  /// Original BCAE keeps normalization layers (§2.3 removes them in ++/HT).
+  bool use_norm = false;
+
+  static Bcae3dConfig bcae_pp() { return Bcae3dConfig{}; }
+  static Bcae3dConfig bcae_ht() {
+    Bcae3dConfig c;
+    c.features = {2, 4, 4, 8};
+    c.decoder_features = {8, 4, 4, 2};
+    return c;
+  }
+  static Bcae3dConfig bcae_original() {
+    Bcae3dConfig c;
+    c.use_norm = true;
+    return c;
+  }
+};
+
+/// Classification threshold h for the segmentation mask (ṽ = v̂·1[p̂ > h]);
+/// the paper fixes h = 0.5 for training and testing (§2.5).
+inline constexpr float kDefaultThreshold = 0.5f;
+
+/// Focal-loss focusing parameter γ (§2.2).
+inline constexpr float kDefaultGamma = 2.0f;
+
+}  // namespace nc::bcae

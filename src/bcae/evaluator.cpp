@@ -1,0 +1,52 @@
+#include "bcae/evaluator.hpp"
+
+#include "util/timer.hpp"
+
+namespace nc::bcae {
+
+metrics::ReconstructionMetrics evaluate_model(
+    BcaeModel& model, const tpc::WedgeDataset& dataset,
+    const std::vector<core::Tensor>& pool, Mode mode, std::int64_t batch_size,
+    float threshold) {
+  metrics::MetricsAccumulator acc;
+  const std::int64_t n = static_cast<std::int64_t>(pool.size());
+  const std::int64_t vh = dataset.valid_horiz();
+  for (std::int64_t start = 0; start < n; start += batch_size) {
+    const std::int64_t end = std::min(n, start + batch_size);
+    std::vector<std::int64_t> idx;
+    for (std::int64_t i = start; i < end; ++i) idx.push_back(i);
+    const Tensor batch = model.is_3d() ? dataset.batch_3d(pool, idx)
+                                       : dataset.batch_2d(pool, idx);
+    auto heads = model.forward(batch, mode);
+    const Tensor recon = BcaeModel::reconstruct(heads, threshold);
+    // Clip the horizontal zero padding before scoring (§2.3).
+    const Tensor recon_v = tpc::clip_horizontal(recon, vh);
+    const Tensor truth_v = tpc::clip_horizontal(batch, vh);
+    acc.add(metrics::evaluate_reconstruction(recon_v, truth_v), recon_v.numel());
+  }
+  return acc.result();
+}
+
+double encoder_throughput(BcaeModel& model, const tpc::WedgeDataset& dataset,
+                          std::int64_t batch, Mode mode, double min_seconds) {
+  const auto& pool = !dataset.test().empty() ? dataset.test() : dataset.train();
+  std::vector<std::int64_t> idx;
+  for (std::int64_t i = 0; i < batch; ++i) {
+    idx.push_back(i % static_cast<std::int64_t>(pool.size()));
+  }
+  const Tensor input =
+      model.is_3d() ? dataset.batch_3d(pool, idx) : dataset.batch_2d(pool, idx);
+
+  // Warmup: populates fp16 weight caches and thread-local scratch.
+  (void)model.encode(input, mode);
+
+  util::Timer timer;
+  std::int64_t wedges = 0;
+  do {
+    (void)model.encode(input, mode);
+    wedges += batch;
+  } while (timer.elapsed_s() < min_seconds);
+  return static_cast<double>(wedges) / timer.elapsed_s();
+}
+
+}  // namespace nc::bcae

@@ -1,0 +1,28 @@
+/// \file evaluator.hpp
+/// \brief Test-set evaluation and encoder-throughput measurement.
+#pragma once
+
+#include "bcae/model.hpp"
+#include "metrics/metrics.hpp"
+#include "tpc/dataset.hpp"
+
+namespace nc::bcae {
+
+/// Evaluate reconstruction metrics over a wedge pool (§3.3).  Horizontal
+/// zero-padding is clipped before computing metrics, "so reconstruction
+/// accuracy metrics are not inflated" (§2.3).
+metrics::ReconstructionMetrics evaluate_model(
+    BcaeModel& model, const tpc::WedgeDataset& dataset,
+    const std::vector<core::Tensor>& pool, Mode mode,
+    std::int64_t batch_size = 8, float threshold = kDefaultThreshold);
+
+/// Encoder-only compression throughput in wedges/second (§3.2): runs
+/// `batch`-sized encode calls for at least `min_seconds` after a warmup and
+/// divides wedges processed by wall time.  Matches the paper's protocol of
+/// excluding file IO and host-device transfer: the input batch is prepared
+/// once, outside the timed region.
+double encoder_throughput(BcaeModel& model, const tpc::WedgeDataset& dataset,
+                          std::int64_t batch, Mode mode,
+                          double min_seconds = 0.5);
+
+}  // namespace nc::bcae

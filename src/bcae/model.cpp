@@ -1,0 +1,73 @@
+#include "bcae/model.hpp"
+
+#include "core/loss.hpp"
+#include "core/ops.hpp"
+
+namespace nc::bcae {
+
+BcaeModel::BcaeModel(std::string name, bool is_3d,
+                     std::unique_ptr<core::Sequential> encoder,
+                     std::unique_ptr<core::Sequential> dec_seg,
+                     std::unique_ptr<core::Sequential> dec_reg)
+    : name_(std::move(name)),
+      is_3d_(is_3d),
+      encoder_(std::move(encoder)),
+      dec_seg_(std::move(dec_seg)),
+      dec_reg_(std::move(dec_reg)) {}
+
+BcaeModel::Heads BcaeModel::decode(const Tensor& code, Mode mode) {
+  Heads h;
+  h.seg_logits = dec_seg_->forward(code, mode);
+  h.reg = dec_reg_->forward(code, mode);
+  return h;
+}
+
+Tensor BcaeModel::reconstruct(const Heads& heads, float threshold) {
+  return core::apply_segmentation_mask(heads.reg, heads.seg_logits, threshold);
+}
+
+void BcaeModel::backward(const Tensor& g_seg, const Tensor& g_reg) {
+  Tensor g_code = dec_seg_->backward(g_seg);
+  Tensor g_code_reg = dec_reg_->backward(g_reg);
+  core::add_inplace(g_code, g_code_reg);
+  encoder_->backward(g_code);
+}
+
+std::vector<core::Param*> BcaeModel::params() {
+  std::vector<core::Param*> out;
+  encoder_->collect_params(out);
+  dec_seg_->collect_params(out);
+  dec_reg_->collect_params(out);
+  return out;
+}
+
+std::vector<core::Param*> BcaeModel::encoder_params() {
+  std::vector<core::Param*> out;
+  encoder_->collect_params(out);
+  return out;
+}
+
+std::int64_t BcaeModel::param_count() {
+  std::int64_t n = 0;
+  for (const auto* p : params()) n += p->numel();
+  return n;
+}
+
+void BcaeModel::invalidate_half_cache() {
+  encoder_->invalidate_half_cache();
+  dec_seg_->invalidate_half_cache();
+  dec_reg_->invalidate_half_cache();
+}
+
+core::Shape code_shape_2d(const Bcae2dConfig& config, std::int64_t azim,
+                          std::int64_t padded_horiz) {
+  const std::int64_t f = std::int64_t{1} << config.d;
+  return {config.code_channels, azim / f, padded_horiz / f};
+}
+
+core::Shape code_shape_3d(const Bcae3dConfig& config, std::int64_t radial,
+                          std::int64_t azim, std::int64_t padded_horiz) {
+  return {config.code_channels, radial, azim / 16, padded_horiz / 16};
+}
+
+}  // namespace nc::bcae

@@ -1,0 +1,103 @@
+/// \file model.hpp
+/// \brief The bicephalous autoencoder: one encoder, two decoder heads.
+///
+/// Head semantics (§2.2):
+///  * The segmentation decoder emits raw logits; sigmoid is folded into the
+///    focal loss (numerics) and into the masking rule at inference
+///    (σ(z) > h  ⇔  z > logit(h)).
+///  * The regression decoder ends with the output transform
+///    T(x) = 6 + 3 exp(x), pinning predictions above the zero-suppression
+///    edge; reconstruction zeros can only come from the mask.
+///
+/// The reconstruction is ṽ = v̂ · 1[σ(z) > h].
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bcae/config.hpp"
+#include "core/block.hpp"
+#include "core/tensor.hpp"
+
+namespace nc::bcae {
+
+using core::Mode;
+using core::Tensor;
+
+class BcaeModel {
+ public:
+  struct Heads {
+    Tensor seg_logits;  ///< segmentation head output (pre-sigmoid)
+    Tensor reg;         ///< regression head output (post-transform, >= 6)
+  };
+
+  BcaeModel(std::string name, bool is_3d,
+            std::unique_ptr<core::Sequential> encoder,
+            std::unique_ptr<core::Sequential> dec_seg,
+            std::unique_ptr<core::Sequential> dec_reg);
+
+  /// Compress: input batch -> code.  2-D models take (N, 16, H, W); 3-D
+  /// models take (N, 1, 16, H, W).
+  Tensor encode(const Tensor& x, Mode mode) { return encoder_->forward(x, mode); }
+
+  /// Decompress: code -> both heads.
+  Heads decode(const Tensor& code, Mode mode);
+
+  /// encode + decode.
+  Heads forward(const Tensor& x, Mode mode) { return decode(encode(x, mode), mode); }
+
+  /// Reconstruction from heads (mask applied at threshold h).
+  static Tensor reconstruct(const Heads& heads, float threshold = kDefaultThreshold);
+
+  /// Backprop the two head gradients through decoders and encoder.
+  /// Only valid after a kTrain forward.
+  void backward(const Tensor& g_seg, const Tensor& g_reg);
+
+  std::vector<core::Param*> params();
+  std::vector<core::Param*> encoder_params();
+  std::int64_t encoder_param_count() { return encoder_->param_count(); }
+  std::int64_t param_count();
+
+  /// Drop cached fp16 weights after parameter updates.
+  void invalidate_half_cache();
+
+  const std::string& name() const { return name_; }
+  bool is_3d() const { return is_3d_; }
+
+  core::Sequential& encoder() { return *encoder_; }
+  core::Sequential& decoder_seg() { return *dec_seg_; }
+  core::Sequential& decoder_reg() { return *dec_reg_; }
+
+ private:
+  std::string name_;
+  bool is_3d_;
+  std::unique_ptr<core::Sequential> encoder_, dec_seg_, dec_reg_;
+};
+
+// -- factories ---------------------------------------------------------------
+
+/// Algorithm 1 + 2: BCAE-2D(m, n, d).
+BcaeModel make_bcae_2d(const Bcae2dConfig& config, std::uint64_t seed);
+
+/// 3-D variants; `name` should be "BCAE++", "BCAE-HT" or "BCAE".
+BcaeModel make_bcae_3d(const Bcae3dConfig& config, std::uint64_t seed,
+                       std::string name);
+
+inline BcaeModel make_bcae_pp(std::uint64_t seed) {
+  return make_bcae_3d(Bcae3dConfig::bcae_pp(), seed, "BCAE++");
+}
+inline BcaeModel make_bcae_ht(std::uint64_t seed) {
+  return make_bcae_3d(Bcae3dConfig::bcae_ht(), seed, "BCAE-HT");
+}
+inline BcaeModel make_bcae_original(std::uint64_t seed) {
+  return make_bcae_3d(Bcae3dConfig::bcae_original(), seed, "BCAE");
+}
+
+/// Code shape produced for a given padded wedge, excluding the batch dim.
+/// 2-D: (code_c, azim/2^d, horiz/2^d); 3-D: (code_c, 16, azim/16, horiz/16).
+core::Shape code_shape_2d(const Bcae2dConfig& config, std::int64_t azim,
+                          std::int64_t padded_horiz);
+core::Shape code_shape_3d(const Bcae3dConfig& config, std::int64_t radial,
+                          std::int64_t azim, std::int64_t padded_horiz);
+
+}  // namespace nc::bcae

@@ -1,0 +1,106 @@
+#include "bcae/trainer.hpp"
+
+#include <numeric>
+
+#include "core/loss.hpp"
+#include "core/ops.hpp"
+#include "util/logging.hpp"
+
+namespace nc::bcae {
+
+Tensor occupancy_labels(const Tensor& batch) {
+  Tensor labels(batch.shape());
+  const float* xp = batch.data();
+  float* lp = labels.data();
+  for (std::int64_t i = 0; i < batch.numel(); ++i) {
+    lp[i] = xp[i] > 0.f ? 1.f : 0.f;
+  }
+  return labels;
+}
+
+Trainer::Trainer(BcaeModel& model, const tpc::WedgeDataset& dataset,
+                 TrainerConfig config)
+    : model_(model),
+      dataset_(dataset),
+      config_(config),
+      optimizer_(model.params(),
+                 core::AdamWConfig{config.lr, 0.9, 0.999, 1e-8, 0.01}),
+      shuffle_rng_(config.shuffle_seed) {}
+
+Tensor Trainer::make_batch(const std::vector<std::int64_t>& indices) const {
+  return model_.is_3d() ? dataset_.batch_3d(dataset_.train(), indices)
+                        : dataset_.batch_2d(dataset_.train(), indices);
+}
+
+std::pair<double, double> Trainer::train_step(const Tensor& batch,
+                                              double seg_coeff) {
+  auto heads = model_.forward(batch, Mode::kTrain);
+
+  const Tensor labels = occupancy_labels(batch);
+  auto seg = core::focal_loss_with_logits(heads.seg_logits, labels, config_.gamma);
+  auto reg = core::masked_mae_loss(heads.reg, batch, heads.seg_logits,
+                                   config_.threshold);
+
+  // Total loss L = c * Lseg + Lreg: scale the segmentation gradient by c.
+  core::scale(seg.grad, static_cast<float>(seg_coeff));
+  model_.backward(seg.grad, reg.grad);
+
+  optimizer_.step();
+  core::zero_grads(model_.params());
+  model_.invalidate_half_cache();
+  return {seg.value, reg.value};
+}
+
+std::vector<EpochStats> Trainer::fit(
+    const std::function<void(const EpochStats&)>& on_epoch) {
+  const auto& train = dataset_.train();
+  if (train.empty()) throw std::invalid_argument("Trainer: empty train split");
+
+  std::vector<std::int64_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  core::StepDecaySchedule schedule(config_.lr, config_.flat_epochs,
+                                   config_.decay_every, config_.decay_factor);
+
+  double coeff = config_.c0;
+  std::vector<EpochStats> history;
+  history.reserve(static_cast<std::size_t>(config_.epochs));
+
+  for (std::int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    shuffle_rng_.shuffle(order.begin(), order.end());
+    const double lr = schedule.lr_for_epoch(epoch);
+    optimizer_.set_lr(lr);
+
+    std::int64_t limit = static_cast<std::int64_t>(order.size());
+    if (config_.max_wedges_per_epoch > 0) {
+      limit = std::min(limit, config_.max_wedges_per_epoch);
+    }
+
+    double seg_sum = 0.0, reg_sum = 0.0;
+    std::int64_t batches = 0;
+    for (std::int64_t start = 0; start + config_.batch_size <= limit;
+         start += config_.batch_size) {
+      std::vector<std::int64_t> idx(order.begin() + start,
+                                    order.begin() + start + config_.batch_size);
+      const Tensor batch = make_batch(idx);
+      auto [seg_loss, reg_loss] = train_step(batch, coeff);
+      seg_sum += seg_loss;
+      reg_sum += reg_loss;
+      ++batches;
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.seg_loss = batches ? seg_sum / static_cast<double>(batches) : 0.0;
+    stats.reg_loss = batches ? reg_sum / static_cast<double>(batches) : 0.0;
+    stats.coefficient = coeff;
+    stats.lr = lr;
+    history.push_back(stats);
+    if (on_epoch) on_epoch(stats);
+
+    coeff = core::next_seg_coefficient(coeff, stats.seg_loss, stats.reg_loss);
+  }
+  return history;
+}
+
+}  // namespace nc::bcae

@@ -1,0 +1,125 @@
+#include "codec/bcae_codec.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "tpc/dataset.hpp"
+#include "util/serialize.hpp"
+
+namespace nc::codec {
+
+namespace {
+constexpr char kKind[4] = {'C', 'W', 'D', 'G'};
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+void CompressedWedge::serialize(std::ostream& os) const {
+  util::write_magic(os, kKind, kVersion);
+  util::write_i64(os, wedge_shape.radial);
+  util::write_i64(os, wedge_shape.azim);
+  util::write_i64(os, wedge_shape.horiz);
+  util::write_u64(os, code_shape.size());
+  for (auto d : code_shape) util::write_i64(os, d);
+  util::write_u64(os, code.size());
+  util::write_bytes(os, code.data(), code.size() * sizeof(util::half));
+}
+
+CompressedWedge CompressedWedge::deserialize(std::istream& is) {
+  util::read_magic(is, kKind);
+  CompressedWedge out;
+  out.wedge_shape.radial = util::read_i64(is);
+  out.wedge_shape.azim = util::read_i64(is);
+  out.wedge_shape.horiz = util::read_i64(is);
+  const std::uint64_t rank = util::read_u64(is);
+  if (rank > 8) throw util::SerializeError("code rank implausible");
+  out.code_shape.resize(rank);
+  for (auto& d : out.code_shape) d = util::read_i64(is);
+  const std::uint64_t n = util::read_u64(is);
+  if (static_cast<std::int64_t>(n) != core::shape_numel(out.code_shape)) {
+    throw util::SerializeError("code size inconsistent with shape");
+  }
+  out.code.resize(n);
+  util::read_bytes(is, out.code.data(), n * sizeof(util::half));
+  return out;
+}
+
+BcaeCodec::BcaeCodec(bcae::BcaeModel& model, core::Mode mode, float threshold)
+    : model_(model), mode_(mode), threshold_(threshold) {
+  if (mode == core::Mode::kTrain) {
+    throw std::invalid_argument("BcaeCodec: kTrain is not an inference mode");
+  }
+}
+
+core::Tensor BcaeCodec::to_padded_batch(
+    const std::vector<core::Tensor>& wedges) const {
+  const std::int64_t n = static_cast<std::int64_t>(wedges.size());
+  const auto& first = wedges.front();
+  const std::int64_t radial = first.dim(0), azim = first.dim(1), horiz = first.dim(2);
+  const std::int64_t ph = tpc::WedgeShape{radial, azim, horiz}.padded_horiz();
+
+  core::Tensor batch = model_.is_3d()
+                           ? core::Tensor({n, 1, radial, azim, ph})
+                           : core::Tensor({n, radial, azim, ph});
+  const std::int64_t stride = radial * azim * ph;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto& w = wedges[static_cast<std::size_t>(i)];
+    if (w.dim(0) != radial || w.dim(1) != azim || w.dim(2) != horiz) {
+      throw std::invalid_argument("compress_batch: inhomogeneous wedge shapes");
+    }
+    const core::Tensor padded = tpc::pad_wedge(w, ph);
+    std::copy(padded.data(), padded.data() + stride, batch.data() + i * stride);
+  }
+  return batch;
+}
+
+CompressedWedge BcaeCodec::compress(const core::Tensor& wedge) {
+  auto batch = compress_batch({wedge});
+  return std::move(batch.front());
+}
+
+std::vector<CompressedWedge> BcaeCodec::compress_batch(
+    const std::vector<core::Tensor>& wedges) {
+  if (wedges.empty()) return {};
+  for (const auto& w : wedges) {
+    if (w.ndim() != 3) {
+      throw std::invalid_argument("compress: wedge must be (radial, azim, horiz)");
+    }
+  }
+  const core::Tensor batch = to_padded_batch(wedges);
+  const core::Tensor codes = model_.encode(batch, mode_);
+
+  const std::int64_t n = static_cast<std::int64_t>(wedges.size());
+  core::Shape code_shape(codes.shape().begin() + 1, codes.shape().end());
+  const std::int64_t code_numel = codes.numel() / n;
+
+  std::vector<CompressedWedge> out(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    auto& cw = out[static_cast<std::size_t>(i)];
+    const auto& w = wedges[static_cast<std::size_t>(i)];
+    cw.wedge_shape = tpc::WedgeShape{w.dim(0), w.dim(1), w.dim(2)};
+    cw.code_shape = code_shape;
+    cw.code.resize(static_cast<std::size_t>(code_numel));
+    util::float_to_half_n(codes.data() + i * code_numel, cw.code.data(),
+                          code_numel);
+  }
+  return out;
+}
+
+core::Tensor BcaeCodec::decompress(const CompressedWedge& compressed) {
+  // Widen the stored binary16 code and run both decoder heads.
+  core::Shape batched = compressed.code_shape;
+  batched.insert(batched.begin(), 1);
+  core::Tensor code(batched);
+  util::half_to_float_n(compressed.code.data(), code.data(), code.numel());
+
+  const auto heads = model_.decode(code, mode_);
+  const core::Tensor recon = bcae::BcaeModel::reconstruct(heads, threshold_);
+
+  // Collapse the batch (and 3-D channel) dims, then clip the padding.
+  const auto& ws = compressed.wedge_shape;
+  const core::Tensor shaped =
+      recon.reshaped({ws.radial, ws.azim, recon.dim(recon.ndim() - 1)});
+  return tpc::clip_horizontal(shaped, ws.horiz);
+}
+
+}  // namespace nc::codec

@@ -1,0 +1,72 @@
+/// \file bcae_codec.hpp
+/// \brief Deployable wedge compressor built on a trained BCAE model.
+///
+/// This is the production-facing API of the library: raw log-ADC wedges go
+/// in, compact bitstreams come out.  Matching the paper's accounting (§3.1),
+/// the code is stored as 16-bit floats, so the on-the-wire compression ratio
+/// equals the element-count ratio (31.125 at paper scale) plus a fixed
+/// ~30-byte header.
+///
+/// Thread/precision notes: compression uses the encoder only (the real-time
+/// path); decompression runs both decoder heads and applies the mask —
+/// intended for offline analysis, exactly as the paper deploys it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "bcae/model.hpp"
+#include "tpc/geometry.hpp"
+
+namespace nc::codec {
+
+/// One compressed wedge: header metadata + binary16 code payload.
+struct CompressedWedge {
+  tpc::WedgeShape wedge_shape;       ///< unpadded original shape
+  core::Shape code_shape;            ///< encoder output shape (no batch dim)
+  std::vector<util::half> code;      ///< binary16 payload
+
+  /// Compressed size in bytes (payload only, as the paper counts it).
+  std::int64_t payload_bytes() const {
+    return static_cast<std::int64_t>(code.size()) * 2;
+  }
+  /// Achieved ratio vs the fp16-stored unpadded wedge (§3.1).
+  double compression_ratio() const {
+    return tpc::compression_ratio(wedge_shape,
+                                  static_cast<std::int64_t>(code.size()));
+  }
+
+  void serialize(std::ostream& os) const;
+  static CompressedWedge deserialize(std::istream& is);
+};
+
+class BcaeCodec {
+ public:
+  /// The codec borrows the model (does not own it); the model must outlive
+  /// the codec.  `mode` selects full- or half-precision inference.
+  BcaeCodec(bcae::BcaeModel& model, core::Mode mode = core::Mode::kEvalHalf,
+            float threshold = bcae::kDefaultThreshold);
+
+  /// Compress one unpadded wedge (radial, azim, horiz).
+  CompressedWedge compress(const core::Tensor& wedge);
+
+  /// Compress a batch of wedges in one encoder pass (higher throughput).
+  std::vector<CompressedWedge> compress_batch(
+      const std::vector<core::Tensor>& wedges);
+
+  /// Decompress back to an unpadded wedge (radial, azim, horiz).
+  core::Tensor decompress(const CompressedWedge& compressed);
+
+  bcae::BcaeModel& model() { return model_; }
+  core::Mode mode() const { return mode_; }
+
+ private:
+  core::Tensor to_padded_batch(const std::vector<core::Tensor>& wedges) const;
+
+  bcae::BcaeModel& model_;
+  core::Mode mode_;
+  float threshold_;
+};
+
+}  // namespace nc::codec

@@ -1,0 +1,66 @@
+#include "codec/stream.hpp"
+
+#include "util/timer.hpp"
+
+namespace nc::codec {
+
+StreamCompressor::StreamCompressor(BcaeCodec& codec, std::size_t queue_capacity,
+                                   std::size_t batch_size, Sink sink)
+    : codec_(codec),
+      batch_size_(batch_size == 0 ? 1 : batch_size),
+      sink_(std::move(sink)),
+      queue_(queue_capacity) {
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+StreamCompressor::~StreamCompressor() {
+  if (!finished_) (void)finish();
+}
+
+bool StreamCompressor::try_submit(core::Tensor wedge) {
+  const bool accepted = queue_.try_push(std::move(wedge));
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (accepted) {
+    ++stats_.wedges_in;
+  } else {
+    ++stats_.wedges_dropped;
+  }
+  return accepted;
+}
+
+void StreamCompressor::submit(core::Tensor wedge) {
+  if (queue_.push(std::move(wedge))) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.wedges_in;
+  }
+}
+
+void StreamCompressor::worker_loop() {
+  util::Timer timer;
+  std::vector<core::Tensor> batch;
+  batch.reserve(batch_size_);
+  while (true) {
+    batch.clear();
+    if (queue_.pop_batch(batch, batch_size_) == 0) break;
+    auto compressed = codec_.compress_batch(batch);
+    std::int64_t bytes = 0;
+    for (auto& cw : compressed) {
+      bytes += cw.payload_bytes();
+      sink_(std::move(cw));
+    }
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.wedges_compressed += static_cast<std::int64_t>(compressed.size());
+    stats_.payload_bytes += bytes;
+    stats_.elapsed_s = timer.elapsed_s();
+  }
+}
+
+StreamStats StreamCompressor::finish() {
+  finished_ = true;
+  queue_.close();
+  if (worker_.joinable()) worker_.join();
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace nc::codec

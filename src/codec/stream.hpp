@@ -1,0 +1,141 @@
+/// \file stream.hpp
+/// \brief DAQ-style streaming compression pipeline.
+///
+/// Models the deployment the paper targets (§1): wedges arrive continuously
+/// from front-end electronics; a real-time compressor must keep up with the
+/// collision rate.  The pipeline is a bounded-queue producer/consumer:
+/// producers enqueue wedges (the "detector"), one compressor drains them in
+/// batches through the BCAE encoder, and compressed wedges are handed to a
+/// sink callback (the "storage").  Backpressure is explicit — if the
+/// compressor cannot keep up, `try_submit` fails and the drop is counted,
+/// which is exactly the operational metric a streaming DAQ cares about.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "codec/bcae_codec.hpp"
+
+namespace nc::codec {
+
+/// Thread-safe bounded FIFO.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Non-blocking enqueue; false when the queue is full (backpressure).
+  bool try_push(T item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(item));
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking enqueue; false only when the queue is closed.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_space_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) return false;
+    queue_.push_back(std::move(item));
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking dequeue; false when the queue is closed and drained.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return false;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    cv_space_.notify_one();
+    return true;
+  }
+
+  /// Dequeue up to `max_items` without blocking beyond the first element.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max_items) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    std::size_t n = 0;
+    while (n < max_items && !queue_.empty()) {
+      out.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      ++n;
+    }
+    cv_space_.notify_all();
+    return n;
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    cv_.notify_all();
+    cv_space_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_, cv_space_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+struct StreamStats {
+  std::int64_t wedges_in = 0;        ///< accepted into the queue
+  std::int64_t wedges_dropped = 0;   ///< rejected by backpressure
+  std::int64_t wedges_compressed = 0;
+  std::int64_t payload_bytes = 0;
+  double elapsed_s = 0.0;
+  double throughput_wps() const {
+    return elapsed_s > 0 ? wedges_compressed / elapsed_s : 0.0;
+  }
+};
+
+/// Single-compressor streaming pipeline.  The compressor thread drains the
+/// input queue in batches of `batch_size` (batching is what buys encoder
+/// throughput, Fig. 6) and invokes `sink` for every compressed wedge.
+class StreamCompressor {
+ public:
+  using Sink = std::function<void(CompressedWedge&&)>;
+
+  StreamCompressor(BcaeCodec& codec, std::size_t queue_capacity,
+                   std::size_t batch_size, Sink sink);
+  ~StreamCompressor();
+
+  StreamCompressor(const StreamCompressor&) = delete;
+  StreamCompressor& operator=(const StreamCompressor&) = delete;
+
+  /// Non-blocking submit with backpressure accounting.
+  bool try_submit(core::Tensor wedge);
+  /// Blocking submit (test/offline use).
+  void submit(core::Tensor wedge);
+
+  /// Close the intake, drain the queue, join the worker and return totals.
+  StreamStats finish();
+
+ private:
+  void worker_loop();
+
+  BcaeCodec& codec_;
+  std::size_t batch_size_;
+  Sink sink_;
+  BoundedQueue<core::Tensor> queue_;
+  std::thread worker_;
+  std::mutex stats_mutex_;
+  StreamStats stats_;
+  bool finished_ = false;
+};
+
+}  // namespace nc::codec

@@ -1,0 +1,86 @@
+/// \file act.hpp
+/// \brief Elementwise activation layers.
+///
+/// Includes the BCAE regression-output transformation T(x) = 6 + 3·exp(x)
+/// (§2.2): it pins every regression prediction above the zero-suppression
+/// edge at log-ADC 6, so zeros in the reconstruction can only come from the
+/// segmentation mask.
+#pragma once
+
+#include "core/layer.hpp"
+
+namespace nc::core {
+
+/// max(x, 0).
+class ReLU final : public Layer {
+ public:
+  explicit ReLU(std::string label = "relu") : label_(std::move(label)) {}
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& gy) override;
+  std::string name() const override { return label_; }
+
+ private:
+  std::string label_;
+  Tensor cached_input_;
+};
+
+/// x > 0 ? x : slope * x.  Default slope matches PyTorch (0.01).
+class LeakyReLU final : public Layer {
+ public:
+  explicit LeakyReLU(float slope = 0.01f, std::string label = "leaky_relu")
+      : slope_(slope), label_(std::move(label)) {}
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& gy) override;
+  std::string name() const override { return label_; }
+
+ private:
+  float slope_;
+  std::string label_;
+  Tensor cached_input_;
+};
+
+/// 1 / (1 + exp(-x)).
+class Sigmoid final : public Layer {
+ public:
+  explicit Sigmoid(std::string label = "sigmoid") : label_(std::move(label)) {}
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& gy) override;
+  std::string name() const override { return label_; }
+
+ private:
+  std::string label_;
+  Tensor cached_output_;
+};
+
+/// Pass-through (the regression decoder's output activation in Algorithm 2).
+class Identity final : public Layer {
+ public:
+  explicit Identity(std::string label = "identity") : label_(std::move(label)) {}
+  Tensor forward(const Tensor& x, Mode) override { return x; }
+  Tensor backward(const Tensor& gy) override { return gy; }
+  std::string name() const override { return label_; }
+
+ private:
+  std::string label_;
+};
+
+/// T(x) = offset + scale * exp(x)  — BCAE regression output transform with
+/// offset 6, scale 3 per the paper.  exp input is clamped at `clamp` to keep
+/// half-precision evaluation finite on untrained networks.
+class OutputTransform final : public Layer {
+ public:
+  explicit OutputTransform(float offset = 6.f, float scale = 3.f,
+                           float clamp = 4.f,
+                           std::string label = "output_transform")
+      : offset_(offset), scale_(scale), clamp_(clamp), label_(std::move(label)) {}
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& gy) override;
+  std::string name() const override { return label_; }
+
+ private:
+  float offset_, scale_, clamp_;
+  std::string label_;
+  Tensor cached_output_;
+};
+
+}  // namespace nc::core

@@ -1,0 +1,76 @@
+#include "core/checkpoint.hpp"
+
+#include <fstream>
+#include <map>
+
+#include "util/serialize.hpp"
+
+namespace nc::core {
+
+namespace {
+constexpr char kKind[4] = {'C', 'K', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+void save_checkpoint(std::ostream& os, const std::vector<Param*>& params) {
+  util::write_magic(os, kKind, kVersion);
+  util::write_u64(os, params.size());
+  for (const auto* p : params) {
+    util::write_string(os, p->name);
+    util::write_u64(os, static_cast<std::uint64_t>(p->value.ndim()));
+    for (std::int64_t d = 0; d < p->value.ndim(); ++d) {
+      util::write_i64(os, p->value.dim(d));
+    }
+    util::write_bytes(os, p->value.data(),
+                      static_cast<std::size_t>(p->value.numel()) * sizeof(float));
+  }
+}
+
+void save_checkpoint_file(const std::string& path,
+                          const std::vector<Param*>& params) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  save_checkpoint(os, params);
+}
+
+void load_checkpoint(std::istream& is, const std::vector<Param*>& params) {
+  util::read_magic(is, kKind);
+  const std::uint64_t count = util::read_u64(is);
+  std::map<std::string, std::pair<Shape, std::vector<float>>> entries;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string name = util::read_string(is);
+    const std::uint64_t rank = util::read_u64(is);
+    if (rank > 8) throw util::SerializeError("checkpoint rank implausible");
+    Shape shape(rank);
+    std::int64_t numel = 1;
+    for (auto& d : shape) {
+      d = util::read_i64(is);
+      numel *= d;
+    }
+    std::vector<float> data(static_cast<std::size_t>(numel));
+    util::read_bytes(is, data.data(), data.size() * sizeof(float));
+    entries[name] = {std::move(shape), std::move(data)};
+  }
+
+  for (auto* p : params) {
+    auto it = entries.find(p->name);
+    if (it == entries.end()) {
+      throw util::SerializeError("checkpoint missing parameter: " + p->name);
+    }
+    if (it->second.first != p->value.shape()) {
+      throw util::SerializeError("checkpoint shape mismatch for " + p->name +
+                                 ": file " + shape_to_string(it->second.first) +
+                                 " vs model " + shape_to_string(p->value.shape()));
+    }
+    std::copy(it->second.second.begin(), it->second.second.end(), p->value.data());
+  }
+}
+
+void load_checkpoint_file(const std::string& path,
+                          const std::vector<Param*>& params) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  load_checkpoint(is, params);
+}
+
+}  // namespace nc::core

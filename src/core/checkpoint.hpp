@@ -1,0 +1,26 @@
+/// \file checkpoint.hpp
+/// \brief Save / load named parameter sets (model checkpoints).
+///
+/// Format "CKPT": magic, version, count, then (name, shape, float32 data)
+/// per parameter.  Loading matches strictly by name and shape so that a
+/// checkpoint from a differently-configured model fails loudly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/layer.hpp"
+
+namespace nc::core {
+
+void save_checkpoint(std::ostream& os, const std::vector<Param*>& params);
+void save_checkpoint_file(const std::string& path,
+                          const std::vector<Param*>& params);
+
+/// Loads values into `params`; throws util::SerializeError on mismatch.
+void load_checkpoint(std::istream& is, const std::vector<Param*>& params);
+void load_checkpoint_file(const std::string& path,
+                          const std::vector<Param*>& params);
+
+}  // namespace nc::core

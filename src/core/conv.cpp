@@ -1,0 +1,681 @@
+#include "core/conv.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "core/gemm.hpp"
+#include "core/init.hpp"
+#include "core/ops.hpp"
+#include "core/profiler.hpp"
+#include "util/timer.hpp"
+
+namespace nc::core {
+
+namespace {
+
+// Per-thread scratch for column matrices.  thread_local gives every OpenMP
+// worker its own buffer; capacity is retained across calls so steady-state
+// inference performs no allocation.
+std::vector<float>& f32_scratch() {
+  thread_local std::vector<float> buf;
+  return buf;
+}
+std::vector<util::half>& f16_scratch() {
+  thread_local std::vector<util::half> buf;
+  return buf;
+}
+// Second fp16 buffer: the half path needs the converted input and the
+// lowered column matrix alive at the same time.
+std::vector<util::half>& f16_scratch_b() {
+  thread_local std::vector<util::half> buf;
+  return buf;
+}
+std::vector<std::int8_t>& i8_scratch() {
+  thread_local std::vector<std::int8_t> buf;
+  return buf;
+}
+
+void add_bias_rows(float* mat, const float* bias, std::int64_t rows,
+                   std::int64_t cols) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float b = bias[r];
+    float* row = mat + r * cols;
+    for (std::int64_t j = 0; j < cols; ++j) row[j] += b;
+  }
+}
+
+void accum_bias_grad(const float* gy_mat, float* gb, std::int64_t rows,
+                     std::int64_t cols) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = gy_mat + r * cols;
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < cols; ++j) acc += row[j];
+    gb[r] += static_cast<float>(acc);
+  }
+}
+
+void record_profile(const std::string& label, double seconds, std::int64_t m,
+                    std::int64_t n, std::int64_t k, std::int64_t batch) {
+  Profiler::instance().record(label, seconds,
+                              2.0 * static_cast<double>(m) *
+                                  static_cast<double>(n) *
+                                  static_cast<double>(k) *
+                                  static_cast<double>(batch),
+                              m, n, k);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Conv2d
+// ---------------------------------------------------------------------------
+
+Conv2d::Conv2d(std::int64_t in_c, std::int64_t out_c,
+               std::array<std::int64_t, 2> kernel,
+               std::array<std::int64_t, 2> stride,
+               std::array<std::int64_t, 2> pad, bool with_bias, util::Rng& rng,
+               std::string label)
+    : in_c_(in_c),
+      out_c_(out_c),
+      k_(kernel),
+      s_(stride),
+      p_(pad),
+      weight_(label + ".weight", Tensor({out_c, in_c, kernel[0], kernel[1]})),
+      label_(std::move(label)) {
+  const std::int64_t fan_in = in_c * kernel[0] * kernel[1];
+  kaiming_normal(weight_.value, fan_in, rng);
+  if (with_bias) {
+    bias_.emplace(label_ + ".bias", Tensor({out_c}));
+    uniform_init(bias_->value, 1.0 / std::sqrt(static_cast<double>(fan_in)), rng);
+  }
+}
+
+Conv2dGeom Conv2d::geom_for(const Tensor& x) const {
+  if (x.ndim() != 4 || x.dim(1) != in_c_) {
+    throw std::invalid_argument(label_ + ": expected (N, " +
+                                std::to_string(in_c_) + ", H, W), got " +
+                                shape_to_string(x.shape()));
+  }
+  Conv2dGeom g;
+  g.c = in_c_;
+  g.h = x.dim(2);
+  g.w = x.dim(3);
+  g.kh = k_[0];
+  g.kw = k_[1];
+  g.sh = s_[0];
+  g.sw = s_[1];
+  g.ph = p_[0];
+  g.pw = p_[1];
+  return g;
+}
+
+std::array<std::int64_t, 2> Conv2d::out_hw(std::array<std::int64_t, 2> in_hw) const {
+  return {(in_hw[0] + 2 * p_[0] - k_[0]) / s_[0] + 1,
+          (in_hw[1] + 2 * p_[1] - k_[1]) / s_[1] + 1};
+}
+
+Tensor Conv2d::forward(const Tensor& x, Mode mode) {
+  const Conv2dGeom g = geom_for(x);
+  const std::int64_t n = x.dim(0);
+  const std::int64_t rows = g.rows(), cols = g.cols();
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  Tensor out({n, out_c_, oh, ow});
+
+  if (mode == Mode::kTrain) cached_input_ = x;
+
+  const bool half_mode = (mode == Mode::kEvalHalf);
+  if (half_mode && !half_ready_) {
+    weight_half_ = HalfTensor::from_float(weight_.value);
+    half_ready_ = true;
+  }
+  const bool int8_mode = (mode == Mode::kEvalInt8);
+  if (int8_mode && !int8_ready_) {
+    weight_q_ = quantize_rows(weight_.value.data(), out_c_, rows);
+    int8_ready_ = true;
+  }
+
+  const float* bias = bias_ ? bias_->value.data() : nullptr;
+  const bool prof = Profiler::instance().enabled();
+  util::Timer timer;
+
+  // 1x1 stride-1 unpadded convolutions are pure channel mixes: the column
+  // matrix equals the input, so skip the im2col lowering entirely.
+  const bool is_1x1 = (k_[0] == 1 && k_[1] == 1 && s_[0] == 1 && s_[1] == 1 &&
+                       p_[0] == 0 && p_[1] == 0);
+  const std::int64_t in_stride = in_c_ * g.h * g.w;
+  const std::int64_t out_stride = out_c_ * oh * ow;
+  util::parallel_for(
+      0, n,
+      [&](std::int64_t sample) {
+        const float* in_s = x.data() + sample * in_stride;
+        float* out_s = out.data() + sample * out_stride;
+        if (half_mode) {
+          auto& inh = f16_scratch_b();
+          inh.resize(static_cast<std::size_t>(in_stride));
+          util::float_to_half_n(in_s, inh.data(), in_stride);
+          auto& colbuf = f16_scratch();
+          colbuf.resize(static_cast<std::size_t>(rows * cols));
+          im2col_2d(inh.data(), g, colbuf.data());
+          hgemm(out_c_, cols, rows, weight_half_.data(), rows, colbuf.data(),
+                cols, out_s, cols);
+        } else if (int8_mode) {
+          auto& colbuf = f32_scratch();
+          colbuf.resize(static_cast<std::size_t>(rows * cols));
+          im2col_2d(in_s, g, colbuf.data());
+          auto& q = i8_scratch();
+          q.resize(static_cast<std::size_t>(rows * cols));
+          const float act_scale = quantize_tensor(colbuf.data(), rows * cols, q.data());
+          qgemm(out_c_, cols, rows, weight_q_.values.data(),
+                weight_q_.scales.data(), q.data(), act_scale, out_s, cols);
+        } else if (is_1x1) {
+          sgemm(false, false, out_c_, cols, rows, 1.f, weight_.value.data(),
+                rows, in_s, cols, 0.f, out_s, cols);
+        } else {
+          auto& colbuf = f32_scratch();
+          colbuf.resize(static_cast<std::size_t>(rows * cols));
+          im2col_2d(in_s, g, colbuf.data());
+          sgemm(false, false, out_c_, cols, rows, 1.f, weight_.value.data(),
+                rows, colbuf.data(), cols, 0.f, out_s, cols);
+        }
+        if (bias) add_bias_rows(out_s, bias, out_c_, cols);
+      },
+      mode == Mode::kTrain ? n + 1 : 1);  // train: serial sample loop
+
+  if (prof) record_profile(label_, timer.elapsed_s(), out_c_, cols, rows, n);
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& gy) {
+  if (cached_input_.empty()) {
+    throw std::logic_error(label_ + ": backward before kTrain forward");
+  }
+  const Tensor& x = cached_input_;
+  const Conv2dGeom g = geom_for(x);
+  const std::int64_t n = x.dim(0);
+  const std::int64_t rows = g.rows(), cols = g.cols();
+  Tensor gx(x.shape());
+
+  auto& colbuf = f32_scratch();
+  colbuf.resize(static_cast<std::size_t>(rows * cols));
+  std::vector<float> gcol(static_cast<std::size_t>(rows * cols));
+
+  const std::int64_t in_stride = in_c_ * g.h * g.w;
+  const std::int64_t out_stride = out_c_ * cols;
+  for (std::int64_t sample = 0; sample < n; ++sample) {
+    const float* x_s = x.data() + sample * in_stride;
+    const float* gy_s = gy.data() + sample * out_stride;
+    float* gx_s = gx.data() + sample * in_stride;
+
+    im2col_2d(x_s, g, colbuf.data());
+    // gW (out_c, rows) += gy_mat (out_c, cols) x colsᵀ
+    sgemm(false, true, out_c_, rows, cols, 1.f, gy_s, cols, colbuf.data(),
+          cols, 1.f, weight_.grad.data(), rows);
+    if (bias_) accum_bias_grad(gy_s, bias_->grad.data(), out_c_, cols);
+    // gcols (rows, cols) = Wᵀ x gy_mat
+    sgemm(true, false, rows, cols, out_c_, 1.f, weight_.value.data(), rows,
+          gy_s, cols, 0.f, gcol.data(), cols);
+    col2im_2d(gcol.data(), g, gx_s);
+  }
+  cached_input_ = Tensor();
+  return gx;
+}
+
+void Conv2d::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  if (bias_) out.push_back(&*bias_);
+}
+
+// ---------------------------------------------------------------------------
+// Conv3d
+// ---------------------------------------------------------------------------
+
+Conv3d::Conv3d(std::int64_t in_c, std::int64_t out_c,
+               std::array<std::int64_t, 3> kernel,
+               std::array<std::int64_t, 3> stride,
+               std::array<std::int64_t, 3> pad, bool with_bias, util::Rng& rng,
+               std::string label)
+    : in_c_(in_c),
+      out_c_(out_c),
+      k_(kernel),
+      s_(stride),
+      p_(pad),
+      weight_(label + ".weight",
+              Tensor({out_c, in_c, kernel[0], kernel[1], kernel[2]})),
+      label_(std::move(label)) {
+  const std::int64_t fan_in = in_c * kernel[0] * kernel[1] * kernel[2];
+  kaiming_normal(weight_.value, fan_in, rng);
+  if (with_bias) {
+    bias_.emplace(label_ + ".bias", Tensor({out_c}));
+    uniform_init(bias_->value, 1.0 / std::sqrt(static_cast<double>(fan_in)), rng);
+  }
+}
+
+Conv3dGeom Conv3d::geom_for(const Tensor& x) const {
+  if (x.ndim() != 5 || x.dim(1) != in_c_) {
+    throw std::invalid_argument(label_ + ": expected (N, " +
+                                std::to_string(in_c_) + ", D, H, W), got " +
+                                shape_to_string(x.shape()));
+  }
+  Conv3dGeom g;
+  g.c = in_c_;
+  g.d = x.dim(2);
+  g.h = x.dim(3);
+  g.w = x.dim(4);
+  g.kd = k_[0];
+  g.kh = k_[1];
+  g.kw = k_[2];
+  g.sd = s_[0];
+  g.sh = s_[1];
+  g.sw = s_[2];
+  g.pd = p_[0];
+  g.ph = p_[1];
+  g.pw = p_[2];
+  return g;
+}
+
+Tensor Conv3d::forward(const Tensor& x, Mode mode) {
+  const Conv3dGeom g = geom_for(x);
+  const std::int64_t n = x.dim(0);
+  const std::int64_t rows = g.rows(), cols = g.cols();
+  const std::int64_t od = g.out_d(), oh = g.out_h(), ow = g.out_w();
+  Tensor out({n, out_c_, od, oh, ow});
+
+  if (mode == Mode::kTrain) cached_input_ = x;
+
+  const bool half_mode = (mode == Mode::kEvalHalf);
+  if (half_mode && !half_ready_) {
+    weight_half_ = HalfTensor::from_float(weight_.value);
+    half_ready_ = true;
+  }
+  const bool int8_mode = (mode == Mode::kEvalInt8);
+  if (int8_mode && !int8_ready_) {
+    weight_q_ = quantize_rows(weight_.value.data(), out_c_, rows);
+    int8_ready_ = true;
+  }
+
+  const float* bias = bias_ ? bias_->value.data() : nullptr;
+  const bool prof = Profiler::instance().enabled();
+  util::Timer timer;
+
+  const bool is_1x1 = (k_[0] == 1 && k_[1] == 1 && k_[2] == 1 && s_[0] == 1 &&
+                       s_[1] == 1 && s_[2] == 1 && p_[0] == 0 && p_[1] == 0 &&
+                       p_[2] == 0);
+  const std::int64_t in_stride = in_c_ * g.d * g.h * g.w;
+  const std::int64_t out_stride = out_c_ * cols;
+  util::parallel_for(
+      0, n,
+      [&](std::int64_t sample) {
+        const float* in_s = x.data() + sample * in_stride;
+        float* out_s = out.data() + sample * out_stride;
+        if (half_mode) {
+          auto& inh = f16_scratch_b();
+          inh.resize(static_cast<std::size_t>(in_stride));
+          util::float_to_half_n(in_s, inh.data(), in_stride);
+          auto& colbuf = f16_scratch();
+          colbuf.resize(static_cast<std::size_t>(rows * cols));
+          vol2col_3d(inh.data(), g, colbuf.data());
+          hgemm(out_c_, cols, rows, weight_half_.data(), rows, colbuf.data(),
+                cols, out_s, cols);
+        } else if (int8_mode) {
+          auto& colbuf = f32_scratch();
+          colbuf.resize(static_cast<std::size_t>(rows * cols));
+          vol2col_3d(in_s, g, colbuf.data());
+          auto& q = i8_scratch();
+          q.resize(static_cast<std::size_t>(rows * cols));
+          const float act_scale = quantize_tensor(colbuf.data(), rows * cols, q.data());
+          qgemm(out_c_, cols, rows, weight_q_.values.data(),
+                weight_q_.scales.data(), q.data(), act_scale, out_s, cols);
+        } else if (is_1x1) {
+          sgemm(false, false, out_c_, cols, rows, 1.f, weight_.value.data(),
+                rows, in_s, cols, 0.f, out_s, cols);
+        } else {
+          auto& colbuf = f32_scratch();
+          colbuf.resize(static_cast<std::size_t>(rows * cols));
+          vol2col_3d(in_s, g, colbuf.data());
+          sgemm(false, false, out_c_, cols, rows, 1.f, weight_.value.data(),
+                rows, colbuf.data(), cols, 0.f, out_s, cols);
+        }
+        if (bias) add_bias_rows(out_s, bias, out_c_, cols);
+      },
+      mode == Mode::kTrain ? n + 1 : 1);
+
+  if (prof) record_profile(label_, timer.elapsed_s(), out_c_, cols, rows, n);
+  return out;
+}
+
+Tensor Conv3d::backward(const Tensor& gy) {
+  if (cached_input_.empty()) {
+    throw std::logic_error(label_ + ": backward before kTrain forward");
+  }
+  const Tensor& x = cached_input_;
+  const Conv3dGeom g = geom_for(x);
+  const std::int64_t n = x.dim(0);
+  const std::int64_t rows = g.rows(), cols = g.cols();
+  Tensor gx(x.shape());
+
+  auto& colbuf = f32_scratch();
+  colbuf.resize(static_cast<std::size_t>(rows * cols));
+  std::vector<float> gcol(static_cast<std::size_t>(rows * cols));
+
+  const std::int64_t in_stride = in_c_ * g.d * g.h * g.w;
+  const std::int64_t out_stride = out_c_ * cols;
+  for (std::int64_t sample = 0; sample < n; ++sample) {
+    const float* x_s = x.data() + sample * in_stride;
+    const float* gy_s = gy.data() + sample * out_stride;
+    float* gx_s = gx.data() + sample * in_stride;
+
+    vol2col_3d(x_s, g, colbuf.data());
+    sgemm(false, true, out_c_, rows, cols, 1.f, gy_s, cols, colbuf.data(),
+          cols, 1.f, weight_.grad.data(), rows);
+    if (bias_) accum_bias_grad(gy_s, bias_->grad.data(), out_c_, cols);
+    sgemm(true, false, rows, cols, out_c_, 1.f, weight_.value.data(), rows,
+          gy_s, cols, 0.f, gcol.data(), cols);
+    col2vol_3d(gcol.data(), g, gx_s);
+  }
+  cached_input_ = Tensor();
+  return gx;
+}
+
+void Conv3d::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  if (bias_) out.push_back(&*bias_);
+}
+
+// ---------------------------------------------------------------------------
+// ConvTranspose2d
+// ---------------------------------------------------------------------------
+
+ConvTranspose2d::ConvTranspose2d(std::int64_t in_c, std::int64_t out_c,
+                                 std::array<std::int64_t, 2> kernel,
+                                 std::array<std::int64_t, 2> stride,
+                                 std::array<std::int64_t, 2> pad,
+                                 bool with_bias, util::Rng& rng,
+                                 std::string label)
+    : in_c_(in_c),
+      out_c_(out_c),
+      k_(kernel),
+      s_(stride),
+      p_(pad),
+      weight_(label + ".weight", Tensor({in_c, out_c, kernel[0], kernel[1]})),
+      label_(std::move(label)) {
+  const std::int64_t fan_in = in_c * kernel[0] * kernel[1];
+  kaiming_normal(weight_.value, fan_in, rng);
+  if (with_bias) {
+    bias_.emplace(label_ + ".bias", Tensor({out_c}));
+    uniform_init(bias_->value, 1.0 / std::sqrt(static_cast<double>(fan_in)), rng);
+  }
+}
+
+Conv2dGeom ConvTranspose2d::geom_for_output(
+    std::array<std::int64_t, 2> out_hw) const {
+  Conv2dGeom g;
+  g.c = out_c_;
+  g.h = out_hw[0];
+  g.w = out_hw[1];
+  g.kh = k_[0];
+  g.kw = k_[1];
+  g.sh = s_[0];
+  g.sw = s_[1];
+  g.ph = p_[0];
+  g.pw = p_[1];
+  return g;
+}
+
+Tensor ConvTranspose2d::forward(const Tensor& x, Mode mode) {
+  if (x.ndim() != 4 || x.dim(1) != in_c_) {
+    throw std::invalid_argument(label_ + ": expected (N, " +
+                                std::to_string(in_c_) + ", H, W), got " +
+                                shape_to_string(x.shape()));
+  }
+  const std::int64_t n = x.dim(0);
+  const std::int64_t ih = x.dim(2), iw = x.dim(3);
+  const std::int64_t oh = (ih - 1) * s_[0] - 2 * p_[0] + k_[0];
+  const std::int64_t ow = (iw - 1) * s_[1] - 2 * p_[1] + k_[1];
+  const Conv2dGeom g = geom_for_output({oh, ow});
+  if (g.out_h() != ih || g.out_w() != iw) {
+    throw std::invalid_argument(label_ + ": inconsistent deconv geometry");
+  }
+  const std::int64_t rows = g.rows();      // out_c * kh * kw
+  const std::int64_t cols = ih * iw;       // input positions
+  Tensor out({n, out_c_, oh, ow});
+
+  if (mode == Mode::kTrain) cached_input_ = x;
+
+  // Transposed convolutions run on the offline decompression path; int8
+  // mode falls back to full precision here.
+  const bool half_mode = (mode == Mode::kEvalHalf);
+  if (half_mode && !half_ready_) {
+    // Pack Wᵀ as (out_c*kh*kw, in_c) so the half GEMM needs no transpose.
+    HalfTensor wt(Shape{rows, in_c_});
+    const float* w = weight_.value.data();
+    for (std::int64_t i = 0; i < in_c_; ++i) {
+      for (std::int64_t r = 0; r < rows; ++r) {
+        wt.data()[r * in_c_ + i] = util::half(w[i * rows + r]);
+      }
+    }
+    weight_t_half_ = std::move(wt);
+    half_ready_ = true;
+  }
+
+  const float* bias = bias_ ? bias_->value.data() : nullptr;
+  const bool prof = Profiler::instance().enabled();
+  util::Timer timer;
+
+  const std::int64_t in_stride = in_c_ * cols;
+  const std::int64_t out_stride = out_c_ * oh * ow;
+  util::parallel_for(
+      0, n,
+      [&](std::int64_t sample) {
+        const float* x_s = x.data() + sample * in_stride;
+        float* out_s = out.data() + sample * out_stride;
+        auto& gcol = f32_scratch();
+        gcol.resize(static_cast<std::size_t>(rows * cols));
+        if (half_mode) {
+          auto& xh = f16_scratch();
+          xh.resize(static_cast<std::size_t>(in_c_ * cols));
+          util::float_to_half_n(x_s, xh.data(), in_c_ * cols);
+          hgemm(rows, cols, in_c_, weight_t_half_.data(), in_c_, xh.data(),
+                cols, gcol.data(), cols);
+        } else {
+          sgemm(true, false, rows, cols, in_c_, 1.f, weight_.value.data(),
+                rows, x_s, cols, 0.f, gcol.data(), cols);
+        }
+        col2im_2d(gcol.data(), g, out_s);
+        if (bias) add_bias_rows(out_s, bias, out_c_, oh * ow);
+      },
+      mode == Mode::kTrain ? n + 1 : 1);
+
+  if (prof) record_profile(label_, timer.elapsed_s(), rows, cols, in_c_, n);
+  return out;
+}
+
+Tensor ConvTranspose2d::backward(const Tensor& gy) {
+  if (cached_input_.empty()) {
+    throw std::logic_error(label_ + ": backward before kTrain forward");
+  }
+  const Tensor& x = cached_input_;
+  const std::int64_t n = x.dim(0);
+  const std::int64_t ih = x.dim(2), iw = x.dim(3);
+  const Conv2dGeom g = geom_for_output({gy.dim(2), gy.dim(3)});
+  const std::int64_t rows = g.rows();
+  const std::int64_t cols = ih * iw;
+  Tensor gx(x.shape());
+
+  auto& colbuf = f32_scratch();
+  colbuf.resize(static_cast<std::size_t>(rows * cols));
+
+  const std::int64_t in_stride = in_c_ * cols;
+  const std::int64_t out_stride = out_c_ * g.h * g.w;
+  for (std::int64_t sample = 0; sample < n; ++sample) {
+    const float* x_s = x.data() + sample * in_stride;
+    const float* gy_s = gy.data() + sample * out_stride;
+    float* gx_s = gx.data() + sample * in_stride;
+
+    im2col_2d(gy_s, g, colbuf.data());
+    // gx (in_c, cols) = W (in_c, rows) x colbuf (rows, cols)
+    sgemm(false, false, in_c_, cols, rows, 1.f, weight_.value.data(), rows,
+          colbuf.data(), cols, 0.f, gx_s, cols);
+    // gW (in_c, rows) += x_mat (in_c, cols) x colbufᵀ
+    sgemm(false, true, in_c_, rows, cols, 1.f, x_s, cols, colbuf.data(), cols,
+          1.f, weight_.grad.data(), rows);
+    if (bias_) accum_bias_grad(gy_s, bias_->grad.data(), out_c_, g.h * g.w);
+  }
+  cached_input_ = Tensor();
+  return gx;
+}
+
+void ConvTranspose2d::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  if (bias_) out.push_back(&*bias_);
+}
+
+// ---------------------------------------------------------------------------
+// ConvTranspose3d
+// ---------------------------------------------------------------------------
+
+ConvTranspose3d::ConvTranspose3d(std::int64_t in_c, std::int64_t out_c,
+                                 std::array<std::int64_t, 3> kernel,
+                                 std::array<std::int64_t, 3> stride,
+                                 std::array<std::int64_t, 3> pad,
+                                 bool with_bias, util::Rng& rng,
+                                 std::string label)
+    : in_c_(in_c),
+      out_c_(out_c),
+      k_(kernel),
+      s_(stride),
+      p_(pad),
+      weight_(label + ".weight",
+              Tensor({in_c, out_c, kernel[0], kernel[1], kernel[2]})),
+      label_(std::move(label)) {
+  const std::int64_t fan_in = in_c * kernel[0] * kernel[1] * kernel[2];
+  kaiming_normal(weight_.value, fan_in, rng);
+  if (with_bias) {
+    bias_.emplace(label_ + ".bias", Tensor({out_c}));
+    uniform_init(bias_->value, 1.0 / std::sqrt(static_cast<double>(fan_in)), rng);
+  }
+}
+
+Conv3dGeom ConvTranspose3d::geom_for_output(
+    std::array<std::int64_t, 3> out_dhw) const {
+  Conv3dGeom g;
+  g.c = out_c_;
+  g.d = out_dhw[0];
+  g.h = out_dhw[1];
+  g.w = out_dhw[2];
+  g.kd = k_[0];
+  g.kh = k_[1];
+  g.kw = k_[2];
+  g.sd = s_[0];
+  g.sh = s_[1];
+  g.sw = s_[2];
+  g.pd = p_[0];
+  g.ph = p_[1];
+  g.pw = p_[2];
+  return g;
+}
+
+Tensor ConvTranspose3d::forward(const Tensor& x, Mode mode) {
+  if (x.ndim() != 5 || x.dim(1) != in_c_) {
+    throw std::invalid_argument(label_ + ": expected (N, " +
+                                std::to_string(in_c_) + ", D, H, W), got " +
+                                shape_to_string(x.shape()));
+  }
+  const std::int64_t n = x.dim(0);
+  const std::int64_t id = x.dim(2), ih = x.dim(3), iw = x.dim(4);
+  const std::int64_t od = (id - 1) * s_[0] - 2 * p_[0] + k_[0];
+  const std::int64_t oh = (ih - 1) * s_[1] - 2 * p_[1] + k_[1];
+  const std::int64_t ow = (iw - 1) * s_[2] - 2 * p_[2] + k_[2];
+  const Conv3dGeom g = geom_for_output({od, oh, ow});
+  if (g.out_d() != id || g.out_h() != ih || g.out_w() != iw) {
+    throw std::invalid_argument(label_ + ": inconsistent deconv geometry");
+  }
+  const std::int64_t rows = g.rows();
+  const std::int64_t cols = id * ih * iw;
+  Tensor out({n, out_c_, od, oh, ow});
+
+  if (mode == Mode::kTrain) cached_input_ = x;
+
+  const bool half_mode = (mode == Mode::kEvalHalf);
+  if (half_mode && !half_ready_) {
+    HalfTensor wt(Shape{rows, in_c_});
+    const float* w = weight_.value.data();
+    for (std::int64_t i = 0; i < in_c_; ++i) {
+      for (std::int64_t r = 0; r < rows; ++r) {
+        wt.data()[r * in_c_ + i] = util::half(w[i * rows + r]);
+      }
+    }
+    weight_t_half_ = std::move(wt);
+    half_ready_ = true;
+  }
+
+  const float* bias = bias_ ? bias_->value.data() : nullptr;
+  const bool prof = Profiler::instance().enabled();
+  util::Timer timer;
+
+  const std::int64_t in_stride = in_c_ * cols;
+  const std::int64_t out_stride = out_c_ * od * oh * ow;
+  util::parallel_for(
+      0, n,
+      [&](std::int64_t sample) {
+        const float* x_s = x.data() + sample * in_stride;
+        float* out_s = out.data() + sample * out_stride;
+        auto& gcol = f32_scratch();
+        gcol.resize(static_cast<std::size_t>(rows * cols));
+        if (half_mode) {
+          auto& xh = f16_scratch();
+          xh.resize(static_cast<std::size_t>(in_c_ * cols));
+          util::float_to_half_n(x_s, xh.data(), in_c_ * cols);
+          hgemm(rows, cols, in_c_, weight_t_half_.data(), in_c_, xh.data(),
+                cols, gcol.data(), cols);
+        } else {
+          sgemm(true, false, rows, cols, in_c_, 1.f, weight_.value.data(),
+                rows, x_s, cols, 0.f, gcol.data(), cols);
+        }
+        col2vol_3d(gcol.data(), g, out_s);
+        if (bias) add_bias_rows(out_s, bias, out_c_, od * oh * ow);
+      },
+      mode == Mode::kTrain ? n + 1 : 1);
+
+  if (prof) record_profile(label_, timer.elapsed_s(), rows, cols, in_c_, n);
+  return out;
+}
+
+Tensor ConvTranspose3d::backward(const Tensor& gy) {
+  if (cached_input_.empty()) {
+    throw std::logic_error(label_ + ": backward before kTrain forward");
+  }
+  const Tensor& x = cached_input_;
+  const std::int64_t n = x.dim(0);
+  const std::int64_t id = x.dim(2), ih = x.dim(3), iw = x.dim(4);
+  const Conv3dGeom g = geom_for_output({gy.dim(2), gy.dim(3), gy.dim(4)});
+  const std::int64_t rows = g.rows();
+  const std::int64_t cols = id * ih * iw;
+  Tensor gx(x.shape());
+
+  auto& colbuf = f32_scratch();
+  colbuf.resize(static_cast<std::size_t>(rows * cols));
+
+  const std::int64_t in_stride = in_c_ * cols;
+  const std::int64_t out_stride = out_c_ * g.d * g.h * g.w;
+  for (std::int64_t sample = 0; sample < n; ++sample) {
+    const float* x_s = x.data() + sample * in_stride;
+    const float* gy_s = gy.data() + sample * out_stride;
+    float* gx_s = gx.data() + sample * in_stride;
+
+    vol2col_3d(gy_s, g, colbuf.data());
+    sgemm(false, false, in_c_, cols, rows, 1.f, weight_.value.data(), rows,
+          colbuf.data(), cols, 0.f, gx_s, cols);
+    sgemm(false, true, in_c_, rows, cols, 1.f, x_s, cols, colbuf.data(), cols,
+          1.f, weight_.grad.data(), rows);
+    if (bias_) accum_bias_grad(gy_s, bias_->grad.data(), out_c_, g.d * g.h * g.w);
+  }
+  cached_input_ = Tensor();
+  return gx;
+}
+
+void ConvTranspose3d::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  if (bias_) out.push_back(&*bias_);
+}
+
+}  // namespace nc::core

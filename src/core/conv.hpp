@@ -1,0 +1,165 @@
+/// \file conv.hpp
+/// \brief Convolution layers: Conv2d / Conv3d / ConvTranspose2d /
+///        ConvTranspose3d.
+///
+/// All four lower to GEMM through the im2col/vol2col machinery:
+///   conv forward        : out  = W · cols(x)
+///   conv backward-data  : gx   = col2im(Wᵀ · g)
+///   conv backward-weight: gW   = g · cols(x)ᵀ
+///   deconv forward      : out  = col2im(Wᵀ · x)      (≡ conv backward-data)
+///   deconv backward-data: gx   = W · cols(g)         (≡ conv forward)
+///
+/// Half-precision inference keeps a cached binary16 copy of the weight in
+/// the orientation its GEMM consumes and lowers activations into a binary16
+/// column buffer, so the GEMM streams half the bytes of the fp32 path.
+///
+/// Batch handling: training runs samples serially with parallel kernels
+/// (gradient accumulation stays race-free); eval runs samples in an OpenMP
+/// loop with serial inner kernels, which is what makes encoder throughput
+/// grow with batch size (Fig. 6 A–C) — small batches cannot occupy all
+/// cores, exactly as small kernels cannot occupy a GPU.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "core/im2col.hpp"
+#include "core/layer.hpp"
+#include "core/quantize.hpp"
+#include "util/rng.hpp"
+
+namespace nc::core {
+
+/// 2-D convolution over (N, C, H, W).
+class Conv2d final : public Layer {
+ public:
+  /// kernel/stride/pad are (height, width) pairs.
+  Conv2d(std::int64_t in_c, std::int64_t out_c, std::array<std::int64_t, 2> kernel,
+         std::array<std::int64_t, 2> stride, std::array<std::int64_t, 2> pad,
+         bool with_bias, util::Rng& rng, std::string label = "conv2d");
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& gy) override;
+  void collect_params(std::vector<Param*>& out) override;
+  void invalidate_half_cache() override {
+    half_ready_ = false;
+    int8_ready_ = false;
+  }
+  std::string name() const override { return label_; }
+
+  const Param& weight() const { return weight_; }
+
+  /// Output spatial shape for a given input spatial shape.
+  std::array<std::int64_t, 2> out_hw(std::array<std::int64_t, 2> in_hw) const;
+
+ private:
+  Conv2dGeom geom_for(const Tensor& x) const;
+
+  std::int64_t in_c_, out_c_;
+  std::array<std::int64_t, 2> k_, s_, p_;
+  Param weight_;  ///< (out_c, in_c, kh, kw)
+  std::optional<Param> bias_;
+  std::string label_;
+
+  Tensor cached_input_;
+  HalfTensor weight_half_;
+  bool half_ready_ = false;
+  QuantizedRows weight_q_;
+  bool int8_ready_ = false;
+};
+
+/// 3-D convolution over (N, C, D, H, W); D is the TPC radial dimension.
+class Conv3d final : public Layer {
+ public:
+  Conv3d(std::int64_t in_c, std::int64_t out_c, std::array<std::int64_t, 3> kernel,
+         std::array<std::int64_t, 3> stride, std::array<std::int64_t, 3> pad,
+         bool with_bias, util::Rng& rng, std::string label = "conv3d");
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& gy) override;
+  void collect_params(std::vector<Param*>& out) override;
+  void invalidate_half_cache() override {
+    half_ready_ = false;
+    int8_ready_ = false;
+  }
+  std::string name() const override { return label_; }
+
+  const Param& weight() const { return weight_; }
+
+ private:
+  Conv3dGeom geom_for(const Tensor& x) const;
+
+  std::int64_t in_c_, out_c_;
+  std::array<std::int64_t, 3> k_, s_, p_;
+  Param weight_;  ///< (out_c, in_c, kd, kh, kw)
+  std::optional<Param> bias_;
+  std::string label_;
+
+  Tensor cached_input_;
+  HalfTensor weight_half_;
+  bool half_ready_ = false;
+  QuantizedRows weight_q_;
+  bool int8_ready_ = false;
+};
+
+/// 2-D transposed convolution (a.k.a. deconvolution) over (N, C, H, W).
+/// Output spatial size: (in - 1) * stride - 2 * pad + kernel.
+class ConvTranspose2d final : public Layer {
+ public:
+  ConvTranspose2d(std::int64_t in_c, std::int64_t out_c,
+                  std::array<std::int64_t, 2> kernel,
+                  std::array<std::int64_t, 2> stride,
+                  std::array<std::int64_t, 2> pad, bool with_bias,
+                  util::Rng& rng, std::string label = "deconv2d");
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& gy) override;
+  void collect_params(std::vector<Param*>& out) override;
+  void invalidate_half_cache() override { half_ready_ = false; }
+  std::string name() const override { return label_; }
+
+ private:
+  /// Geometry of the *equivalent forward conv* mapping output -> input.
+  Conv2dGeom geom_for_output(std::array<std::int64_t, 2> out_hw) const;
+
+  std::int64_t in_c_, out_c_;
+  std::array<std::int64_t, 2> k_, s_, p_;
+  Param weight_;  ///< (in_c, out_c, kh, kw)  (PyTorch deconv convention)
+  std::optional<Param> bias_;
+  std::string label_;
+
+  Tensor cached_input_;
+  HalfTensor weight_t_half_;  ///< transposed weight (out_c*kh*kw, in_c)
+  bool half_ready_ = false;
+};
+
+/// 3-D transposed convolution over (N, C, D, H, W).
+class ConvTranspose3d final : public Layer {
+ public:
+  ConvTranspose3d(std::int64_t in_c, std::int64_t out_c,
+                  std::array<std::int64_t, 3> kernel,
+                  std::array<std::int64_t, 3> stride,
+                  std::array<std::int64_t, 3> pad, bool with_bias,
+                  util::Rng& rng, std::string label = "deconv3d");
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& gy) override;
+  void collect_params(std::vector<Param*>& out) override;
+  void invalidate_half_cache() override { half_ready_ = false; }
+  std::string name() const override { return label_; }
+
+ private:
+  Conv3dGeom geom_for_output(std::array<std::int64_t, 3> out_dhw) const;
+
+  std::int64_t in_c_, out_c_;
+  std::array<std::int64_t, 3> k_, s_, p_;
+  Param weight_;  ///< (in_c, out_c, kd, kh, kw)
+  std::optional<Param> bias_;
+  std::string label_;
+
+  Tensor cached_input_;
+  HalfTensor weight_t_half_;
+  bool half_ready_ = false;
+};
+
+}  // namespace nc::core

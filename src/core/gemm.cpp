@@ -1,0 +1,203 @@
+#include "core/gemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#if defined(__F16C__) && defined(__AVX2__)
+#include <immintrin.h>
+#define NC_GEMM_F16C 1
+#else
+#define NC_GEMM_F16C 0
+#endif
+
+namespace nc::core {
+
+namespace {
+
+// Tile sizes.  Conv GEMMs here are "short and fat" (M = out-channels is
+// small, N = output pixels is large), so the column tile must be small
+// enough that collapse(2) still yields >= #cores tiles for a single GEMM.
+constexpr std::int64_t kMB = 16;
+constexpr std::int64_t kNB = 128;
+
+/// Scale (or clear) C by beta.
+void apply_beta(std::int64_t m, std::int64_t n, float beta, float* c,
+                std::int64_t ldc) {
+  if (beta == 1.f) return;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) if (m * n > (1 << 15) && !omp_in_parallel())
+#endif
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* ci = c + i * ldc;
+    if (beta == 0.f) {
+      std::fill(ci, ci + n, 0.f);
+    } else {
+      for (std::int64_t j = 0; j < n; ++j) ci[j] *= beta;
+    }
+  }
+}
+
+/// NN microkernel on one (rows x cols) tile: C += alpha * A * B.
+/// i-k-j loop order: the j loop is a contiguous FMA stream the compiler
+/// vectorizes; the A element is a scalar broadcast.
+inline void tile_nn(std::int64_t i0, std::int64_t i1, std::int64_t j0,
+                    std::int64_t j1, std::int64_t k, float alpha,
+                    const float* a, std::int64_t lda, const float* b,
+                    std::int64_t ldb, float* c, std::int64_t ldc) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const float* ai = a + i * lda;
+    float* ci = c + i * ldc;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = alpha * ai[kk];
+      if (av == 0.f) continue;
+      const float* bk = b + kk * ldb;
+#ifdef _OPENMP
+#pragma omp simd
+#endif
+      for (std::int64_t j = j0; j < j1; ++j) ci[j] += av * bk[j];
+    }
+  }
+}
+
+/// NT microkernel: C += alpha * A * B^T  (dot products of contiguous rows).
+inline void tile_nt(std::int64_t i0, std::int64_t i1, std::int64_t j0,
+                    std::int64_t j1, std::int64_t k, float alpha,
+                    const float* a, std::int64_t lda, const float* b,
+                    std::int64_t ldb, float* c, std::int64_t ldc) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const float* ai = a + i * lda;
+    float* ci = c + i * ldc;
+    for (std::int64_t j = j0; j < j1; ++j) {
+      const float* bj = b + j * ldb;
+      float acc = 0.f;
+#ifdef _OPENMP
+#pragma omp simd reduction(+ : acc)
+#endif
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += ai[kk] * bj[kk];
+      ci[j] += alpha * acc;
+    }
+  }
+}
+
+/// Half-storage microkernel: C += float(A[i,k]) * float(B[k, j0:j1]).
+/// With F16C the B row is widened 8 lanes at a time (VCVTPH2PS + FMA),
+/// streaming half the bytes of the fp32 kernel — the CPU analogue of the
+/// paper's tensor-core half-precision mode.
+inline void tile_hh(std::int64_t i0, std::int64_t i1, std::int64_t j0,
+                    std::int64_t j1, std::int64_t k, const util::half* a,
+                    std::int64_t lda, const util::half* b, std::int64_t ldb,
+                    float* c, std::int64_t ldc) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const util::half* ai = a + i * lda;
+    float* ci = c + i * ldc;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = static_cast<float>(ai[kk]);
+      if (av == 0.f) continue;
+      const util::half* bk = b + kk * ldb;
+#if NC_GEMM_F16C
+      const __m256 av8 = _mm256_set1_ps(av);
+      std::int64_t j = j0;
+      for (; j + 16 <= j1; j += 16) {
+        const __m128i raw0 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(bk + j));
+        const __m128i raw1 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(bk + j + 8));
+        __m256 c0 = _mm256_loadu_ps(ci + j);
+        __m256 c1 = _mm256_loadu_ps(ci + j + 8);
+        c0 = _mm256_fmadd_ps(av8, _mm256_cvtph_ps(raw0), c0);
+        c1 = _mm256_fmadd_ps(av8, _mm256_cvtph_ps(raw1), c1);
+        _mm256_storeu_ps(ci + j, c0);
+        _mm256_storeu_ps(ci + j + 8, c1);
+      }
+      for (; j + 8 <= j1; j += 8) {
+        const __m128i raw =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(bk + j));
+        __m256 cc = _mm256_loadu_ps(ci + j);
+        cc = _mm256_fmadd_ps(av8, _mm256_cvtph_ps(raw), cc);
+        _mm256_storeu_ps(ci + j, cc);
+      }
+      for (; j < j1; ++j) ci[j] += av * static_cast<float>(bk[j]);
+#else
+      for (std::int64_t j = j0; j < j1; ++j) {
+        ci[j] += av * static_cast<float>(bk[j]);
+      }
+#endif
+    }
+  }
+}
+
+}  // namespace
+
+void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+           std::int64_t k, float alpha, const float* a, std::int64_t lda,
+           const float* b, std::int64_t ldb, float beta, float* c,
+           std::int64_t ldc) {
+  apply_beta(m, n, beta, c, ldc);
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.f) return;
+
+  // Transposed-A cases: pack op(A) once (A is always the small conv-weight
+  // side in this library, so the pack is cheap) and fall through to NN/NT.
+  std::vector<float> packed_a;
+  const float* a_eff = a;
+  std::int64_t lda_eff = lda;
+  if (trans_a) {
+    packed_a.resize(static_cast<std::size_t>(m * k));
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float* src = a + kk * lda;
+      for (std::int64_t i = 0; i < m; ++i) packed_a[i * k + kk] = src[i];
+    }
+    a_eff = packed_a.data();
+    lda_eff = k;
+  }
+
+  const std::int64_t n_row_blocks = (m + kMB - 1) / kMB;
+  const std::int64_t n_col_blocks = (n + kNB - 1) / kNB;
+
+#ifdef _OPENMP
+#pragma omp parallel for collapse(2) schedule(static) \
+    if (n_row_blocks * n_col_blocks > 1 && !omp_in_parallel())
+#endif
+  for (std::int64_t rb = 0; rb < n_row_blocks; ++rb) {
+    for (std::int64_t cb = 0; cb < n_col_blocks; ++cb) {
+      const std::int64_t i0 = rb * kMB;
+      const std::int64_t i1 = std::min(m, i0 + kMB);
+      const std::int64_t j0 = cb * kNB;
+      const std::int64_t j1 = std::min(n, j0 + kNB);
+      if (!trans_b) {
+        tile_nn(i0, i1, j0, j1, k, alpha, a_eff, lda_eff, b, ldb, c, ldc);
+      } else {
+        tile_nt(i0, i1, j0, j1, k, alpha, a_eff, lda_eff, b, ldb, c, ldc);
+      }
+    }
+  }
+}
+
+void hgemm(std::int64_t m, std::int64_t n, std::int64_t k,
+           const util::half* a, std::int64_t lda, const util::half* b,
+           std::int64_t ldb, float* c, std::int64_t ldc) {
+  apply_beta(m, n, 0.f, c, ldc);
+  if (m == 0 || n == 0 || k == 0) return;
+
+  const std::int64_t n_row_blocks = (m + kMB - 1) / kMB;
+  const std::int64_t n_col_blocks = (n + kNB - 1) / kNB;
+
+#ifdef _OPENMP
+#pragma omp parallel for collapse(2) schedule(static) \
+    if (n_row_blocks * n_col_blocks > 1 && !omp_in_parallel())
+#endif
+  for (std::int64_t rb = 0; rb < n_row_blocks; ++rb) {
+    for (std::int64_t cb = 0; cb < n_col_blocks; ++cb) {
+      const std::int64_t i0 = rb * kMB;
+      const std::int64_t i1 = std::min(m, i0 + kMB);
+      const std::int64_t j0 = cb * kNB;
+      const std::int64_t j1 = std::min(n, j0 + kNB);
+      tile_hh(i0, i1, j0, j1, k, a, lda, b, ldb, c, ldc);
+    }
+  }
+}
+
+}  // namespace nc::core

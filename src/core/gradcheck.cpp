@@ -1,0 +1,84 @@
+#include "core/gradcheck.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ops.hpp"
+
+namespace nc::core {
+
+namespace {
+
+double weighted_sum(const Tensor& out, const Tensor& r) {
+  const float* op = out.data();
+  const float* rp = r.data();
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    acc += static_cast<double>(op[i]) * rp[i];
+  }
+  return acc;
+}
+
+}  // namespace
+
+GradCheckResult gradcheck_layer(Layer& layer, const Tensor& x,
+                                std::uint64_t seed, double eps) {
+  util::Rng rng(seed);
+
+  // Fixed random upstream weighting R.
+  Tensor probe = layer.forward(x, Mode::kEval);
+  Tensor r(probe.shape());
+  for (std::int64_t i = 0; i < r.numel(); ++i) {
+    r[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+
+  // Analytic gradients.
+  std::vector<Param*> params;
+  layer.collect_params(params);
+  zero_grads(params);
+  Tensor x_train = x.clone();
+  Tensor out = layer.forward(x_train, Mode::kTrain);
+  Tensor gx = layer.backward(r);
+
+  GradCheckResult res;
+  auto update = [&](double analytic, double numeric, const std::string& who) {
+    const double abs_err = std::abs(analytic - numeric);
+    const double rel_err =
+        abs_err / std::max({1.0, std::abs(analytic), std::abs(numeric)});
+    if (rel_err > res.max_rel_err) {
+      res.max_rel_err = rel_err;
+      res.worst_param = who;
+    }
+    res.max_abs_err = std::max(res.max_abs_err, abs_err);
+  };
+
+  // Numeric input gradient.
+  Tensor x_mut = x.clone();
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float orig = x_mut[i];
+    x_mut[i] = orig + static_cast<float>(eps);
+    const double lp = weighted_sum(layer.forward(x_mut, Mode::kEval), r);
+    x_mut[i] = orig - static_cast<float>(eps);
+    const double lm = weighted_sum(layer.forward(x_mut, Mode::kEval), r);
+    x_mut[i] = orig;
+    update(gx[i], (lp - lm) / (2.0 * eps), "input");
+  }
+
+  // Numeric parameter gradients.
+  for (auto* p : params) {
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      const float orig = p->value[i];
+      p->value[i] = orig + static_cast<float>(eps);
+      layer.invalidate_half_cache();
+      const double lp = weighted_sum(layer.forward(x_mut, Mode::kEval), r);
+      p->value[i] = orig - static_cast<float>(eps);
+      const double lm = weighted_sum(layer.forward(x_mut, Mode::kEval), r);
+      p->value[i] = orig;
+      update(p->grad[i], (lp - lm) / (2.0 * eps), p->name);
+    }
+  }
+  layer.invalidate_half_cache();
+  return res;
+}
+
+}  // namespace nc::core

@@ -1,0 +1,26 @@
+/// \file gradcheck.hpp
+/// \brief Numerical gradient verification harness.
+///
+/// Every layer's analytic backward is validated in the test suite against
+/// central finite differences of a randomized scalar objective
+/// L = Σ out ⊙ R (R a fixed random tensor), which exercises arbitrary
+/// upstream gradients.
+#pragma once
+
+#include "core/layer.hpp"
+#include "util/rng.hpp"
+
+namespace nc::core {
+
+struct GradCheckResult {
+  double max_abs_err = 0.0;   ///< worst |analytic - numeric|
+  double max_rel_err = 0.0;   ///< worst |a - n| / max(1, |a|, |n|)
+  std::string worst_param;    ///< "input" or parameter name
+};
+
+/// Check d(Σ out⊙R)/d(input) and d/d(params) for `layer` at input `x`.
+/// `eps` is the finite-difference step (float32 => ~1e-2..1e-3 works best).
+GradCheckResult gradcheck_layer(Layer& layer, const Tensor& x,
+                                std::uint64_t seed, double eps = 1e-2);
+
+}  // namespace nc::core

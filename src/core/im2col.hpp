@@ -1,0 +1,124 @@
+/// \file im2col.hpp
+/// \brief im2col / col2im (2-D) and vol2col / col2vol (3-D) lowering.
+///
+/// Layout conventions (all row-major, per sample — batching is handled by the
+/// calling layer):
+///   2-D image:  (C, H, W);      column matrix: (C*KH*KW, OH*OW)
+///   3-D volume: (C, D, H, W);   column matrix: (C*KD*KH*KW, OD*OH*OW)
+///
+/// The templated destination type lets the half-precision inference path
+/// lower activations directly into a binary16 column buffer (halving the
+/// bytes the GEMM streams) without a separate conversion pass.
+#pragma once
+
+#include <cstdint>
+
+#include "util/half.hpp"
+#include "util/parallel.hpp"
+
+namespace nc::core {
+
+/// Spatial hyper-parameters of a 2-D convolution.
+struct Conv2dGeom {
+  std::int64_t c = 0, h = 0, w = 0;      ///< input channels / height / width
+  std::int64_t kh = 0, kw = 0;           ///< kernel
+  std::int64_t sh = 1, sw = 1;           ///< stride
+  std::int64_t ph = 0, pw = 0;           ///< zero padding
+
+  std::int64_t out_h() const { return (h + 2 * ph - kh) / sh + 1; }
+  std::int64_t out_w() const { return (w + 2 * pw - kw) / sw + 1; }
+  std::int64_t rows() const { return c * kh * kw; }
+  std::int64_t cols() const { return out_h() * out_w(); }
+};
+
+/// Spatial hyper-parameters of a 3-D convolution (depth = TPC radial dim).
+struct Conv3dGeom {
+  std::int64_t c = 0, d = 0, h = 0, w = 0;
+  std::int64_t kd = 0, kh = 0, kw = 0;
+  std::int64_t sd = 1, sh = 1, sw = 1;
+  std::int64_t pd = 0, ph = 0, pw = 0;
+
+  std::int64_t out_d() const { return (d + 2 * pd - kd) / sd + 1; }
+  std::int64_t out_h() const { return (h + 2 * ph - kh) / sh + 1; }
+  std::int64_t out_w() const { return (w + 2 * pw - kw) / sw + 1; }
+  std::int64_t rows() const { return c * kd * kh * kw; }
+  std::int64_t cols() const { return out_d() * out_h() * out_w(); }
+};
+
+/// Expand image `in` into column matrix `cols` (size rows() x cols()).
+/// TSrc == TDst == half on the half-precision path (the caller pre-converts
+/// the input once, so lowering is a pure 2-byte gather — half the bytes of
+/// the fp32 path with no per-element conversion).
+template <typename TSrc, typename TDst>
+void im2col_2d(const TSrc* in, const Conv2dGeom& g, TDst* cols) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t n_rows = g.rows();
+  util::parallel_for(
+      0, n_rows,
+      [&](std::int64_t r) {
+        const std::int64_t kw_i = r % g.kw;
+        const std::int64_t kh_i = (r / g.kw) % g.kh;
+        const std::int64_t c_i = r / (g.kw * g.kh);
+        const TSrc* in_c = in + c_i * g.h * g.w;
+        TDst* dst = cols + r * (oh * ow);
+        const TDst zero(0.f);
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * g.sh - g.ph + kh_i;
+          if (iy < 0 || iy >= g.h) {
+            for (std::int64_t ox = 0; ox < ow; ++ox) *dst++ = zero;
+            continue;
+          }
+          const TSrc* in_row = in_c + iy * g.w;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t ix = ox * g.sw - g.pw + kw_i;
+            *dst++ = (ix >= 0 && ix < g.w) ? TDst(in_row[ix]) : zero;
+          }
+        }
+      },
+      4);
+}
+
+/// Scatter-accumulate column matrix back into an image (backward of
+/// im2col_2d; also the core of transposed-convolution forward).
+/// `out` must be pre-zeroed by the caller when accumulation starts fresh.
+void col2im_2d(const float* cols, const Conv2dGeom& g, float* out);
+
+/// 3-D analogue of im2col_2d.
+template <typename TSrc, typename TDst>
+void vol2col_3d(const TSrc* in, const Conv3dGeom& g, TDst* cols) {
+  const std::int64_t od = g.out_d(), oh = g.out_h(), ow = g.out_w();
+  const std::int64_t n_rows = g.rows();
+  util::parallel_for(
+      0, n_rows,
+      [&](std::int64_t r) {
+        const std::int64_t kw_i = r % g.kw;
+        const std::int64_t kh_i = (r / g.kw) % g.kh;
+        const std::int64_t kd_i = (r / (g.kw * g.kh)) % g.kd;
+        const std::int64_t c_i = r / (g.kw * g.kh * g.kd);
+        const TSrc* in_c = in + c_i * g.d * g.h * g.w;
+        TDst* dst = cols + r * (od * oh * ow);
+        const TDst zero(0.f);
+        for (std::int64_t oz = 0; oz < od; ++oz) {
+          const std::int64_t iz = oz * g.sd - g.pd + kd_i;
+          const bool z_ok = (iz >= 0 && iz < g.d);
+          for (std::int64_t oy = 0; oy < oh; ++oy) {
+            const std::int64_t iy = oy * g.sh - g.ph + kh_i;
+            if (!z_ok || iy < 0 || iy >= g.h) {
+              for (std::int64_t ox = 0; ox < ow; ++ox) *dst++ = zero;
+              continue;
+            }
+            const TSrc* in_row = in_c + (iz * g.h + iy) * g.w;
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+              const std::int64_t ix = ox * g.sw - g.pw + kw_i;
+              *dst++ = (ix >= 0 && ix < g.w) ? TDst(in_row[ix]) : zero;
+            }
+          }
+        }
+      },
+      4);
+}
+
+/// Scatter-accumulate 3-D column matrix back into a volume.
+void col2vol_3d(const float* cols, const Conv3dGeom& g, float* out);
+
+}  // namespace nc::core

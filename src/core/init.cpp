@@ -1,0 +1,23 @@
+#include "core/init.hpp"
+
+#include <cmath>
+
+namespace nc::core {
+
+void kaiming_normal(Tensor& w, std::int64_t fan_in, util::Rng& rng,
+                    double gain) {
+  const double std = gain / std::sqrt(static_cast<double>(fan_in > 0 ? fan_in : 1));
+  float* p = w.data();
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    p[i] = static_cast<float>(rng.normal(0.0, std));
+  }
+}
+
+void uniform_init(Tensor& w, double bound, util::Rng& rng) {
+  float* p = w.data();
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    p[i] = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+
+}  // namespace nc::core

@@ -1,0 +1,19 @@
+/// \file init.hpp
+/// \brief Parameter initialization schemes.
+#pragma once
+
+#include "core/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace nc::core {
+
+/// Kaiming/He normal init for conv weights feeding (leaky-)ReLU:
+/// std = gain / sqrt(fan_in).  `fan_in` = in_channels * prod(kernel).
+void kaiming_normal(Tensor& w, std::int64_t fan_in, util::Rng& rng,
+                    double gain = std::numbers::sqrt2);
+
+/// Uniform in [-bound, bound] (PyTorch's default conv bias init uses
+/// bound = 1/sqrt(fan_in)).
+void uniform_init(Tensor& w, double bound, util::Rng& rng);
+
+}  // namespace nc::core

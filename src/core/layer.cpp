@@ -1,0 +1,11 @@
+#include "core/layer.hpp"
+
+#include "core/ops.hpp"
+
+namespace nc::core {
+
+void zero_grads(const std::vector<Param*>& params) {
+  for (auto* p : params) fill(p->grad, 0.f);
+}
+
+}  // namespace nc::core

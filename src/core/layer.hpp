@@ -1,0 +1,84 @@
+/// \file layer.hpp
+/// \brief Layer abstraction: explicit forward/backward graph nodes.
+///
+/// The BCAE networks are simple DAGs (sequential trunks, residual adds, two
+/// decoder heads), so instead of a tape-based autograd we use classic
+/// layer-owned backprop: `forward(x, Mode::kTrain)` caches whatever the
+/// layer needs, `backward(gy)` consumes the cache, accumulates parameter
+/// gradients and returns the input gradient.  This keeps peak memory
+/// deterministic and makes every layer independently grad-checkable.
+///
+/// Modes:
+///   kTrain    — float32, caches activations for backward.
+///   kEval     — float32, no caching (inference benchmark "full precision").
+///   kEvalHalf — binary16 storage / float32 accumulate (inference benchmark
+///               "half precision"); layers with weights maintain a cached
+///               fp16 copy invalidated by `invalidate_half_cache()` after
+///               optimizer steps.
+///   kEvalInt8 — post-training int8 quantization (§4 future work): conv
+///               layers run per-channel int8 weights against dynamically
+///               quantized activations; weight-free layers and transposed
+///               convolutions (offline decoder path) fall back to float32.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace nc::core {
+
+enum class Mode { kTrain, kEval, kEvalHalf, kEvalInt8 };
+
+/// A learnable tensor plus its gradient accumulator.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Param() = default;
+  Param(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  std::int64_t numel() const { return value.numel(); }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Compute the layer output.  Under kTrain the layer caches activations
+  /// needed by `backward`; under the eval modes no state is retained.
+  virtual Tensor forward(const Tensor& x, Mode mode) = 0;
+
+  /// Propagate the loss gradient.  Only valid after a kTrain forward; param
+  /// gradients are *accumulated* (callers zero them between steps).
+  virtual Tensor backward(const Tensor& gy) = 0;
+
+  /// Append pointers to this layer's learnable parameters.
+  virtual void collect_params(std::vector<Param*>& out) { (void)out; }
+
+  /// Drop cached fp16 weight copies (call after parameter updates).
+  virtual void invalidate_half_cache() {}
+
+  /// Diagnostic label ("conv2d_3", "resblock3d_1", ...).
+  virtual std::string name() const = 0;
+
+  /// Total learnable parameter count in this subtree.
+  std::int64_t param_count() {
+    std::vector<Param*> ps;
+    collect_params(ps);
+    std::int64_t n = 0;
+    for (const auto* p : ps) n += p->numel();
+    return n;
+  }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+/// Zero the gradients of a parameter set (between optimizer steps).
+void zero_grads(const std::vector<Param*>& params);
+
+}  // namespace nc::core

@@ -1,0 +1,60 @@
+/// \file loss.hpp
+/// \brief BCAE training losses (§2.2, Eq. 1–2).
+///
+/// The bicephalous loss has two heads:
+///  * Segmentation: focal loss (log base 2, focusing parameter γ) on the
+///    voxel-wise zero/non-zero classification — focal because only ~10.8% of
+///    voxels are occupied.
+///  * Regression: MAE between the *masked* prediction ṽ = v̂ · 1[p̂ > h] and
+///    the target.  The mask comes from the segmentation head and is treated
+///    as non-differentiable (no gradient flows from the regression loss into
+///    the segmentation decoder), matching the reference implementation.
+///
+/// Both take raw segmentation logits rather than probabilities so the
+/// sigmoid+log composition stays numerically stable.
+#pragma once
+
+#include "core/tensor.hpp"
+
+namespace nc::core {
+
+/// Scalar loss value plus gradient w.r.t. the tensor it was computed from.
+struct LossValue {
+  double value = 0.0;
+  Tensor grad;
+};
+
+/// Focal loss, Eq. (1), on logits.  `labels` hold 0/1 voxel occupancy.
+/// Returns the loss and dL/d(logits).
+LossValue focal_loss_with_logits(const Tensor& logits, const Tensor& labels,
+                                 float gamma);
+
+/// Plain binary cross-entropy on logits (γ = 0 focal without the log2 scale
+/// change is BCE/ln2; provided for ablations).
+LossValue bce_loss_with_logits(const Tensor& logits, const Tensor& labels);
+
+/// Masked MAE, Eq. (2).  `pred` is the regression head output (already
+/// transformed), `target` the ground-truth log-ADC wedge, `seg_logits` the
+/// segmentation head output.  A voxel contributes |v̂ - v| where the
+/// predicted occupancy probability exceeds `threshold` and |0 - v| = v
+/// elsewhere.  The returned gradient is w.r.t. `pred` only (masked voxels
+/// get zero gradient).
+LossValue masked_mae_loss(const Tensor& pred, const Tensor& target,
+                          const Tensor& seg_logits, float threshold);
+
+/// Unmasked MAE plus gradient (for plain-autoencoder baselines/ablations).
+LossValue mae_loss(const Tensor& pred, const Tensor& target);
+
+/// Unmasked MSE plus gradient.
+LossValue mse_loss(const Tensor& pred, const Tensor& target);
+
+/// Dynamic loss balancing (§2.5): coefficient of the segmentation loss for
+/// the next epoch from this epoch's mean segmentation / regression losses.
+///   c_{t+1} = 0.5 * c_t + (rho_reg / rho_seg) * 1.5
+double next_seg_coefficient(double c_t, double rho_seg, double rho_reg);
+
+/// Apply the decision rule ṽ = v̂ · 1[σ(z) > h] to form a reconstruction.
+Tensor apply_segmentation_mask(const Tensor& pred, const Tensor& seg_logits,
+                               float threshold);
+
+}  // namespace nc::core

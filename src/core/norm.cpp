@@ -1,0 +1,134 @@
+#include "core/norm.hpp"
+
+#include <cmath>
+
+#include "core/ops.hpp"
+#include "util/parallel.hpp"
+
+namespace nc::core {
+
+InstanceNorm::InstanceNorm(std::int64_t channels, float eps, std::string label)
+    : channels_(channels),
+      eps_(eps),
+      gamma_(label + ".gamma", Tensor::full({channels}, 1.f)),
+      beta_(label + ".beta", Tensor({channels})),
+      label_(std::move(label)) {}
+
+Tensor InstanceNorm::forward(const Tensor& x, Mode mode) {
+  if (x.ndim() < 3 || x.dim(1) != channels_) {
+    throw std::invalid_argument(label_ + ": expected (N, " +
+                                std::to_string(channels_) + ", spatial...), got " +
+                                shape_to_string(x.shape()));
+  }
+  const std::int64_t n = x.dim(0);
+  std::int64_t spatial = 1;
+  for (std::int64_t d = 2; d < x.ndim(); ++d) spatial *= x.dim(d);
+
+  Tensor out(x.shape());
+  Tensor xhat(x.shape());
+  std::vector<float> inv_std(static_cast<std::size_t>(n * channels_));
+
+  const float* xp = x.data();
+  float* op = out.data();
+  float* hp = xhat.data();
+  const float* gamma = gamma_.value.data();
+  const float* beta = beta_.value.data();
+  const float eps = eps_;
+
+  util::parallel_for(
+      0, n * channels_,
+      [&](std::int64_t plane) {
+        const std::int64_t c = plane % channels_;
+        const float* in_p = xp + plane * spatial;
+        float* out_p = op + plane * spatial;
+        float* hat_p = hp + plane * spatial;
+        double s = 0.0, s2 = 0.0;
+        for (std::int64_t i = 0; i < spatial; ++i) {
+          s += in_p[i];
+          s2 += static_cast<double>(in_p[i]) * in_p[i];
+        }
+        const double mean = s / static_cast<double>(spatial);
+        const double var = s2 / static_cast<double>(spatial) - mean * mean;
+        const float istd = 1.f / std::sqrt(static_cast<float>(var) + eps);
+        inv_std[static_cast<std::size_t>(plane)] = istd;
+        const float g = gamma[c], b = beta[c];
+        const float m = static_cast<float>(mean);
+        for (std::int64_t i = 0; i < spatial; ++i) {
+          const float h = (in_p[i] - m) * istd;
+          hat_p[i] = h;
+          out_p[i] = g * h + b;
+        }
+      },
+      1);
+
+  if (mode == Mode::kTrain) {
+    cached_xhat_ = xhat;
+    cached_inv_std_ = std::move(inv_std);
+  }
+  return out;
+}
+
+Tensor InstanceNorm::backward(const Tensor& gy) {
+  const Tensor& xhat = cached_xhat_;
+  const std::int64_t n = xhat.dim(0);
+  std::int64_t spatial = 1;
+  for (std::int64_t d = 2; d < xhat.ndim(); ++d) spatial *= xhat.dim(d);
+
+  Tensor gx(xhat.shape());
+  const float* gp = gy.data();
+  const float* hp = xhat.data();
+  float* op = gx.data();
+  const float* gamma = gamma_.value.data();
+  float* ggamma = gamma_.grad.data();
+  float* gbeta = beta_.grad.data();
+
+  // Parameter gradients first (reduce over samples, serial over channels to
+  // stay race-free, parallel inside).
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    double gg = 0.0, gb = 0.0;
+    for (std::int64_t s = 0; s < n; ++s) {
+      const std::int64_t plane = s * channels_ + c;
+      const float* g_p = gp + plane * spatial;
+      const float* h_p = hp + plane * spatial;
+      for (std::int64_t i = 0; i < spatial; ++i) {
+        gg += static_cast<double>(g_p[i]) * h_p[i];
+        gb += g_p[i];
+      }
+    }
+    ggamma[c] += static_cast<float>(gg);
+    gbeta[c] += static_cast<float>(gb);
+  }
+
+  util::parallel_for(
+      0, n * channels_,
+      [&](std::int64_t plane) {
+        const std::int64_t c = plane % channels_;
+        const float* g_p = gp + plane * spatial;
+        const float* h_p = hp + plane * spatial;
+        float* out_p = op + plane * spatial;
+        double sum_g = 0.0, sum_gh = 0.0;
+        for (std::int64_t i = 0; i < spatial; ++i) {
+          sum_g += g_p[i];
+          sum_gh += static_cast<double>(g_p[i]) * h_p[i];
+        }
+        const float mg = static_cast<float>(sum_g / static_cast<double>(spatial));
+        const float mgh = static_cast<float>(sum_gh / static_cast<double>(spatial));
+        const float scale =
+            gamma[c] * cached_inv_std_[static_cast<std::size_t>(plane)];
+        for (std::int64_t i = 0; i < spatial; ++i) {
+          out_p[i] = scale * (g_p[i] - mg - h_p[i] * mgh);
+        }
+      },
+      1);
+
+  cached_xhat_ = Tensor();
+  cached_inv_std_.clear();
+  return gx;
+}
+
+void InstanceNorm::collect_params(std::vector<Param*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+}  // namespace nc::core

@@ -1,0 +1,42 @@
+/// \file ops.hpp
+/// \brief Elementwise and reduction primitives over Tensor.
+///
+/// These are the small glue kernels the layers compose; all hot loops are
+/// flat over contiguous storage and OpenMP-parallel above a grain size.
+#pragma once
+
+#include "core/tensor.hpp"
+
+namespace nc::core {
+
+// -- in-place elementwise -----------------------------------------------------
+
+void fill(Tensor& t, float value);
+void scale(Tensor& t, float alpha);            ///< t *= alpha
+void add_scalar(Tensor& t, float alpha);       ///< t += alpha
+void axpy(float alpha, const Tensor& x, Tensor& y);  ///< y += alpha * x
+void add_inplace(Tensor& y, const Tensor& x);        ///< y += x
+void mul_inplace(Tensor& y, const Tensor& x);        ///< y *= x (Hadamard)
+
+// -- out-of-place -------------------------------------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+
+// -- reductions ---------------------------------------------------------------
+
+double sum(const Tensor& t);
+double mean(const Tensor& t);
+float max_value(const Tensor& t);
+float min_value(const Tensor& t);
+/// Mean of |a - b| (used pervasively in metrics).
+double mean_abs_diff(const Tensor& a, const Tensor& b);
+
+/// Count of elements strictly greater than `threshold`.
+std::int64_t count_greater(const Tensor& t, float threshold);
+
+/// Throws std::invalid_argument when shapes differ (kernel precondition).
+void check_same_shape(const Tensor& a, const Tensor& b, const char* what);
+
+}  // namespace nc::core

@@ -1,0 +1,60 @@
+#include "core/optim.hpp"
+
+#include <cmath>
+
+#include "util/parallel.hpp"
+
+namespace nc::core {
+
+AdamW::AdamW(std::vector<Param*> params, AdamWConfig config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void AdamW::step() {
+  ++t_;
+  const double b1 = config_.beta1, b2 = config_.beta2;
+  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+  const double lr = config_.lr;
+  const double eps = config_.eps;
+  const double wd = config_.weight_decay;
+
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    Param& p = *params_[pi];
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* m = m_[pi].data();
+    float* v = v_[pi].data();
+    const std::int64_t n = p.value.numel();
+    util::parallel_for(
+        0, n,
+        [&](std::int64_t i) {
+          const double gi = g[i];
+          const double mi = b1 * m[i] + (1.0 - b1) * gi;
+          const double vi = b2 * v[i] + (1.0 - b2) * gi * gi;
+          m[i] = static_cast<float>(mi);
+          v[i] = static_cast<float>(vi);
+          const double mhat = mi / bias1;
+          const double vhat = vi / bias2;
+          // decoupled weight decay, then the Adam update
+          double wi = w[i] * (1.0 - lr * wd);
+          wi -= lr * mhat / (std::sqrt(vhat) + eps);
+          w[i] = static_cast<float>(wi);
+        },
+        1 << 14);
+  }
+}
+
+double StepDecaySchedule::lr_for_epoch(std::int64_t epoch) const {
+  if (epoch < flat_epochs_) return initial_lr_;
+  const std::int64_t decays = (epoch - flat_epochs_) / decay_every_ + 1;
+  return initial_lr_ * std::pow(factor_, static_cast<double>(decays));
+}
+
+}  // namespace nc::core

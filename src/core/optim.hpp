@@ -1,0 +1,63 @@
+/// \file optim.hpp
+/// \brief AdamW optimizer and the paper's step-decay LR schedules (§2.5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/layer.hpp"
+
+namespace nc::core {
+
+struct AdamWConfig {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.01;  ///< decoupled (applied to weights, not grads)
+};
+
+/// Decoupled-weight-decay Adam (Loshchilov & Hutter), the optimizer all BCAE
+/// variants train with: (β1, β2) = (0.9, 0.999), weight decay 0.01.
+class AdamW {
+ public:
+  AdamW(std::vector<Param*> params, AdamWConfig config = {});
+
+  /// Apply one update from the accumulated gradients, then it is the
+  /// caller's job to zero them (`zero_grads`).
+  void step();
+
+  void set_lr(double lr) { config_.lr = lr; }
+  double lr() const { return config_.lr; }
+  std::int64_t steps_taken() const { return t_; }
+
+ private:
+  std::vector<Param*> params_;
+  AdamWConfig config_;
+  std::vector<Tensor> m_, v_;
+  std::int64_t t_ = 0;
+};
+
+/// Piecewise LR schedule used for every BCAE training run: constant for the
+/// first `flat_epochs`, then multiplied by `factor` every `decay_every`
+/// epochs.  BCAE++/HT: flat 100, decay 5% every 20 (of 1000 epochs);
+/// BCAE-2D: flat 50, decay 5% every 10 (of 500 epochs).
+class StepDecaySchedule {
+ public:
+  StepDecaySchedule(double initial_lr, std::int64_t flat_epochs,
+                    std::int64_t decay_every, double factor = 0.95)
+      : initial_lr_(initial_lr),
+        flat_epochs_(flat_epochs),
+        decay_every_(decay_every),
+        factor_(factor) {}
+
+  double lr_for_epoch(std::int64_t epoch) const;
+
+ private:
+  double initial_lr_;
+  std::int64_t flat_epochs_;
+  std::int64_t decay_every_;
+  double factor_;
+};
+
+}  // namespace nc::core

@@ -1,0 +1,78 @@
+/// \file pool.hpp
+/// \brief Spatial resampling layers: average pooling (encoder downsampling in
+///        Algorithm 1) and nearest-neighbour upsampling (decoder upsampling
+///        in Algorithm 2).
+#pragma once
+
+#include <array>
+
+#include "core/layer.hpp"
+
+namespace nc::core {
+
+/// 2-D average pooling over (N, C, H, W) with square kernel == stride
+/// (the only configuration the BCAE-2D encoder uses: k = s = 2).
+class AvgPool2d final : public Layer {
+ public:
+  explicit AvgPool2d(std::int64_t kernel = 2, std::string label = "avgpool2d")
+      : k_(kernel), label_(std::move(label)) {}
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& gy) override;
+  std::string name() const override { return label_; }
+
+ private:
+  std::int64_t k_;
+  std::string label_;
+  Shape cached_in_shape_;
+};
+
+/// 2-D nearest-neighbour upsampling by an integer scale factor.
+class Upsample2d final : public Layer {
+ public:
+  explicit Upsample2d(std::int64_t scale = 2, std::string label = "upsample2d")
+      : scale_(scale), label_(std::move(label)) {}
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& gy) override;
+  std::string name() const override { return label_; }
+
+ private:
+  std::int64_t scale_;
+  std::string label_;
+  Shape cached_in_shape_;
+};
+
+/// 3-D average pooling (kernel == stride), pooling H/W only or all of D/H/W.
+class AvgPool3d final : public Layer {
+ public:
+  AvgPool3d(std::array<std::int64_t, 3> kernel, std::string label = "avgpool3d")
+      : k_(kernel), label_(std::move(label)) {}
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& gy) override;
+  std::string name() const override { return label_; }
+
+ private:
+  std::array<std::int64_t, 3> k_;
+  std::string label_;
+  Shape cached_in_shape_;
+};
+
+/// 3-D nearest-neighbour upsampling with independent per-axis scales.
+class Upsample3d final : public Layer {
+ public:
+  Upsample3d(std::array<std::int64_t, 3> scale, std::string label = "upsample3d")
+      : scale_(scale), label_(std::move(label)) {}
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& gy) override;
+  std::string name() const override { return label_; }
+
+ private:
+  std::array<std::int64_t, 3> scale_;
+  std::string label_;
+  Shape cached_in_shape_;
+};
+
+}  // namespace nc::core

@@ -1,0 +1,65 @@
+#include "core/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace nc::core {
+
+Profiler& Profiler::instance() {
+  static Profiler p;
+  return p;
+}
+
+void Profiler::record(const std::string& label, double seconds, double flops,
+                      std::int64_t m, std::int64_t n, std::int64_t k) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& e = entries_[label];
+  e.total_s += seconds;
+  e.calls += 1;
+  e.flops += flops;
+  if (m) {
+    e.gemm_m = m;
+    e.gemm_n = n;
+    e.gemm_k = k;
+  }
+}
+
+void Profiler::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+std::vector<std::pair<std::string, ProfileEntry>> Profiler::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, ProfileEntry>> out(entries_.begin(),
+                                                        entries_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second.total_s > b.second.total_s;
+  });
+  return out;
+}
+
+std::string Profiler::report() const {
+  const auto es = entries();
+  double total = 0.0;
+  for (const auto& [_, e] : es) total += e.total_s;
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-28s %8s %7s %9s %6s %18s\n", "layer",
+                "time_ms", "share", "GFLOP/s", "calls", "GEMM MxNxK");
+  out += buf;
+  for (const auto& [label, e] : es) {
+    const double gflops = e.total_s > 0 ? e.flops / e.total_s / 1e9 : 0.0;
+    std::snprintf(buf, sizeof(buf), "%-28s %8.2f %6.1f%% %9.2f %6llu %6lldx%lldx%lld\n",
+                  label.c_str(), e.total_s * 1e3,
+                  total > 0 ? 100.0 * e.total_s / total : 0.0, gflops,
+                  static_cast<unsigned long long>(e.calls),
+                  static_cast<long long>(e.gemm_m),
+                  static_cast<long long>(e.gemm_n),
+                  static_cast<long long>(e.gemm_k));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace nc::core

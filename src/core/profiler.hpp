@@ -1,0 +1,57 @@
+/// \file profiler.hpp
+/// \brief Per-layer CPU time + GEMM-shape accounting.
+///
+/// Stands in for the paper's Nsight Systems profile (Fig. 6D): the paper's
+/// diagnostic is that BCAE-HT's convolutions are too small to engage tensor
+/// cores; our analogue records each conv's GEMM dimensions and time share so
+/// the same "kernels too small to amortize the parallel machinery"
+/// conclusion can be read off a table.
+///
+/// Disabled by default (zero overhead beyond one branch); enable around a
+/// measurement window.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nc::core {
+
+struct ProfileEntry {
+  double total_s = 0.0;
+  std::uint64_t calls = 0;
+  double flops = 0.0;        ///< accumulated FLOPs (2*M*N*K per GEMM)
+  std::int64_t gemm_m = 0;   ///< last-seen GEMM dims (diagnostic)
+  std::int64_t gemm_n = 0;
+  std::int64_t gemm_k = 0;
+};
+
+class Profiler {
+ public:
+  static Profiler& instance();
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// Record one kernel invocation under `label`.
+  void record(const std::string& label, double seconds, double flops,
+              std::int64_t m = 0, std::int64_t n = 0, std::int64_t k = 0);
+
+  void clear();
+
+  /// Snapshot sorted by descending total time.
+  std::vector<std::pair<std::string, ProfileEntry>> entries() const;
+
+  /// Render an aligned text table (label, time share, GFLOP/s, GEMM dims).
+  std::string report() const;
+
+ private:
+  Profiler() = default;
+  bool enabled_ = false;
+  mutable std::mutex mutex_;
+  std::map<std::string, ProfileEntry> entries_;
+};
+
+}  // namespace nc::core

@@ -1,0 +1,135 @@
+#include "core/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace nc::core {
+
+QuantizedRows quantize_rows(const float* w, std::int64_t rows, std::int64_t cols) {
+  QuantizedRows q;
+  q.rows = rows;
+  q.cols = cols;
+  q.values.resize(static_cast<std::size_t>(rows * cols));
+  q.scales.resize(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = w + r * cols;
+    float max_abs = 0.f;
+    for (std::int64_t k = 0; k < cols; ++k) {
+      max_abs = std::max(max_abs, std::abs(row[k]));
+    }
+    const float scale = max_abs > 0.f ? max_abs / 127.f : 1.f;
+    q.scales[static_cast<std::size_t>(r)] = scale;
+    std::int8_t* out = q.values.data() + r * cols;
+    const float inv = 1.f / scale;
+    for (std::int64_t k = 0; k < cols; ++k) {
+      const float v = std::round(row[k] * inv);
+      out[k] = static_cast<std::int8_t>(std::clamp(v, -127.f, 127.f));
+    }
+  }
+  return q;
+}
+
+float quantize_tensor(const float* x, std::int64_t n, std::int8_t* out) {
+  float max_abs = 0.f;
+  for (std::int64_t i = 0; i < n; ++i) max_abs = std::max(max_abs, std::abs(x[i]));
+  const float scale = max_abs > 0.f ? max_abs / 127.f : 1.f;
+  const float inv = 1.f / scale;
+  for (std::int64_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::int8_t>(
+        std::clamp(std::round(x[i] * inv), -127.f, 127.f));
+  }
+  return scale;
+}
+
+void qgemm(std::int64_t m, std::int64_t n, std::int64_t k,
+           const std::int8_t* a, const float* a_scales, const std::int8_t* b,
+           float b_scale, float* c, std::int64_t ldc) {
+  // i-k-j with an int32 accumulator panel per row; the widening int8
+  // multiply vectorizes under -O3.  A per-row int32 scratch keeps the
+  // accumulation exact (int8*int8 sums stay well inside int32 for the
+  // K values used by BCAE encoders).
+  constexpr std::int64_t kNB = 256;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) if (m > 1 && !omp_in_parallel())
+#endif
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int8_t* ai = a + i * k;
+    float* ci = c + i * ldc;
+    std::int32_t acc[kNB];
+    for (std::int64_t j0 = 0; j0 < n; j0 += kNB) {
+      const std::int64_t j1 = std::min(n, j0 + kNB);
+      const std::int64_t width = j1 - j0;
+      std::fill(acc, acc + width, 0);
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const std::int32_t av = ai[kk];
+        if (av == 0) continue;
+        const std::int8_t* bk = b + kk * n + j0;
+#ifdef _OPENMP
+#pragma omp simd
+#endif
+        for (std::int64_t j = 0; j < width; ++j) {
+          acc[j] += av * static_cast<std::int32_t>(bk[j]);
+        }
+      }
+      const float scale = a_scales[i] * b_scale;
+      for (std::int64_t j = 0; j < width; ++j) {
+        ci[j0 + j] = static_cast<float>(acc[j]) * scale;
+      }
+    }
+  }
+}
+
+std::int64_t prune_by_magnitude(const std::vector<Param*>& params,
+                                double fraction) {
+  if (fraction <= 0.0) return 0;
+  // Collect magnitudes of all prunable weights (skip biases/norm params —
+  // anything 1-D — as is standard practice).
+  std::vector<float> mags;
+  for (const auto* p : params) {
+    if (p->value.ndim() < 2) continue;
+    const float* w = p->value.data();
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      mags.push_back(std::abs(w[i]));
+    }
+  }
+  if (mags.empty()) return 0;
+  const auto k = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(mags.size()),
+                       fraction * static_cast<double>(mags.size())));
+  if (k == 0) return 0;
+  std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   mags.end());
+  const float threshold = mags[k - 1];
+
+  std::int64_t zeroed = 0;
+  for (auto* p : params) {
+    if (p->value.ndim() < 2) continue;
+    float* w = p->value.data();
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      if (std::abs(w[i]) <= threshold && w[i] != 0.f) {
+        w[i] = 0.f;
+        ++zeroed;
+      }
+    }
+  }
+  return zeroed;
+}
+
+double weight_sparsity(const std::vector<Param*>& params) {
+  std::int64_t zeros = 0, total = 0;
+  for (const auto* p : params) {
+    if (p->value.ndim() < 2) continue;
+    const float* w = p->value.data();
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      zeros += (w[i] == 0.f) ? 1 : 0;
+    }
+    total += p->value.numel();
+  }
+  return total ? static_cast<double>(zeros) / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace nc::core

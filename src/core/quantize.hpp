@@ -1,0 +1,57 @@
+/// \file quantize.hpp
+/// \brief Post-training optimization of trained networks — the paper's §4
+///        future-work list ("network pruning, quantization, and sparse CNN
+///        techniques"), implemented for the encoder deployment path.
+///
+/// Quantization: symmetric int8 with per-output-channel weight scales and
+/// dynamic per-tensor activation scales (the standard PTQ recipe).  Conv
+/// layers expose it through `Mode::kEvalInt8`; layers without weights pass
+/// float32 through unchanged, so a whole encoder can run quantized without
+/// calibration data.
+///
+/// Pruning: global magnitude pruning across a parameter set.  The fp32 GEMM
+/// microkernel already skips zero weight entries (see gemm.cpp), so pruning
+/// translates directly into inference speedup without a sparse format.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/layer.hpp"
+#include "core/tensor.hpp"
+
+namespace nc::core {
+
+/// Row-quantized int8 matrix: row i stores w[i,k] ≈ values[i*k + k] * scale[i].
+struct QuantizedRows {
+  std::vector<std::int8_t> values;
+  std::vector<float> scales;  ///< one per row
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+};
+
+/// Symmetric per-row quantization of a (rows x cols) weight matrix.
+QuantizedRows quantize_rows(const float* w, std::int64_t rows, std::int64_t cols);
+
+/// Symmetric per-tensor quantization of activations (dynamic): returns the
+/// dequantization scale; `out` receives round(x / scale) clamped to ±127.
+float quantize_tensor(const float* x, std::int64_t n, std::int8_t* out);
+
+/// C (M x N) = diag(a_scales) * (A8 * B8) * b_scale, int32 accumulation.
+/// A8 is the quantized weight (lda = k), B8 the quantized activation panel.
+void qgemm(std::int64_t m, std::int64_t n, std::int64_t k,
+           const std::int8_t* a, const float* a_scales, const std::int8_t* b,
+           float b_scale, float* c, std::int64_t ldc);
+
+// -- pruning ------------------------------------------------------------------
+
+/// Zero the smallest-magnitude `fraction` of all weights across `params`
+/// (global threshold; biases and 1-element params are skipped).  Returns the
+/// number of weights zeroed.
+std::int64_t prune_by_magnitude(const std::vector<Param*>& params,
+                                double fraction);
+
+/// Fraction of exactly-zero weights across the parameter set.
+double weight_sparsity(const std::vector<Param*>& params);
+
+}  // namespace nc::core

@@ -1,0 +1,118 @@
+#include "core/tensor.hpp"
+
+#include <sstream>
+
+#include "util/parallel.hpp"
+
+namespace nc::core {
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (auto d : shape) {
+    if (d < 0) throw std::invalid_argument("negative dimension in shape");
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      numel_(shape_numel(shape_)),
+      data_(std::make_shared<std::vector<float>>(
+          static_cast<std::size_t>(numel_), 0.f)) {}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  auto* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) p[i] = value;
+  return t;
+}
+
+Tensor Tensor::from_vector(Shape shape, std::vector<float> values) {
+  const std::int64_t n = shape_numel(shape);
+  if (static_cast<std::int64_t>(values.size()) != n) {
+    throw std::invalid_argument("from_vector: size mismatch: shape " +
+                                shape_to_string(shape) + " needs " +
+                                std::to_string(n) + " values, got " +
+                                std::to_string(values.size()));
+  }
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = n;
+  t.data_ = std::make_shared<std::vector<float>>(std::move(values));
+  return t;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (shape_numel(new_shape) != numel_) {
+    throw std::invalid_argument("reshape: numel mismatch: " +
+                                shape_to_string(shape_) + " -> " +
+                                shape_to_string(new_shape));
+  }
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.numel_ = numel_;
+  t.data_ = data_;
+  return t;
+}
+
+Tensor Tensor::clone() const {
+  Tensor t;
+  t.shape_ = shape_;
+  t.numel_ = numel_;
+  t.data_ = data_ ? std::make_shared<std::vector<float>>(*data_) : nullptr;
+  return t;
+}
+
+std::int64_t Tensor::flat_index(std::initializer_list<std::int64_t> idx) const {
+  if (static_cast<std::int64_t>(idx.size()) != ndim()) {
+    throw std::invalid_argument("at(): rank mismatch");
+  }
+  std::int64_t flat = 0;
+  std::size_t d = 0;
+  for (auto i : idx) {
+    const std::int64_t extent = shape_[d];
+    if (i < 0 || i >= extent) throw std::out_of_range("at(): index out of range");
+    flat = flat * extent + i;
+    ++d;
+  }
+  return flat;
+}
+
+float& Tensor::at(std::initializer_list<std::int64_t> idx) {
+  return (*data_)[static_cast<std::size_t>(flat_index(idx))];
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> idx) const {
+  return (*data_)[static_cast<std::size_t>(flat_index(idx))];
+}
+
+HalfTensor::HalfTensor(Shape shape)
+    : shape_(std::move(shape)), numel_(shape_numel(shape_)) {
+  data_.resize(static_cast<std::size_t>(numel_));
+}
+
+HalfTensor HalfTensor::from_float(const Tensor& t) {
+  HalfTensor h(t.shape());
+  util::float_to_half_n(t.data(), h.data(), t.numel());
+  return h;
+}
+
+Tensor HalfTensor::to_float() const {
+  Tensor t(shape_);
+  util::half_to_float_n(data_.data(), t.data(), numel_);
+  return t;
+}
+
+}  // namespace nc::core

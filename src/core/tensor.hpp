@@ -1,0 +1,112 @@
+/// \file tensor.hpp
+/// \brief Dense N-dimensional float tensor — the data currency of the NN
+///        substrate.
+///
+/// Design notes:
+///  * Contiguous row-major storage only.  The BCAE graphs never need strided
+///    views; keeping tensors contiguous keeps every kernel a flat loop.
+///  * Storage is shared (`std::shared_ptr`) so reshapes and pipeline
+///    hand-offs are O(1); `clone()` gives a deep copy when isolation is
+///    needed.
+///  * A parallel 16-bit variant (`HalfTensor`) exists purely as a storage
+///    format for the half-precision inference path.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/half.hpp"
+
+namespace nc::core {
+
+using Shape = std::vector<std::int64_t>;
+
+/// Number of elements implied by a shape (1 for rank-0).
+std::int64_t shape_numel(const Shape& shape);
+
+/// Human-readable "(a, b, c)" rendering for diagnostics.
+std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  /// Empty tensor (numel 0, rank 0).
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value);
+  /// Adopt values (size must match shape).
+  static Tensor from_vector(Shape shape, std::vector<float> values);
+
+  // -- geometry --------------------------------------------------------------
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t ndim() const { return static_cast<std::int64_t>(shape_.size()); }
+  std::int64_t dim(std::int64_t i) const { return shape_.at(static_cast<std::size_t>(i)); }
+  std::int64_t numel() const { return numel_; }
+  bool empty() const { return numel_ == 0; }
+
+  /// O(1) metadata-only reshape sharing storage; total size must match.
+  Tensor reshaped(Shape new_shape) const;
+
+  /// Deep copy.
+  Tensor clone() const;
+
+  // -- element access ---------------------------------------------------------
+
+  float* data() { return data_ ? data_->data() : nullptr; }
+  const float* data() const { return data_ ? data_->data() : nullptr; }
+
+  float& operator[](std::int64_t i) { return (*data_)[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const { return (*data_)[static_cast<std::size_t>(i)]; }
+
+  /// Bounds-checked multi-index access (tests / small code paths only).
+  float& at(std::initializer_list<std::int64_t> idx);
+  float at(std::initializer_list<std::int64_t> idx) const;
+
+  /// True when two tensors share the same storage buffer.
+  bool shares_storage_with(const Tensor& other) const {
+    return data_ != nullptr && data_ == other.data_;
+  }
+
+ private:
+  std::int64_t flat_index(std::initializer_list<std::int64_t> idx) const;
+
+  Shape shape_;
+  std::int64_t numel_ = 0;
+  std::shared_ptr<std::vector<float>> data_;
+};
+
+/// 16-bit storage tensor for the half-precision path.  No arithmetic —
+/// kernels convert to float on load (F16C hardware conversion where
+/// available via the native _Float16 type).
+class HalfTensor {
+ public:
+  HalfTensor() = default;
+  explicit HalfTensor(Shape shape);
+
+  /// Cast a float tensor element-wise to binary16 (round-to-nearest-even).
+  static HalfTensor from_float(const Tensor& t);
+
+  /// Widen back to float32.
+  Tensor to_float() const;
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return numel_; }
+
+  util::half* data() { return data_.data(); }
+  const util::half* data() const { return data_.data(); }
+
+ private:
+  Shape shape_;
+  std::int64_t numel_ = 0;
+  std::vector<util::half> data_;
+};
+
+}  // namespace nc::core

@@ -1,0 +1,55 @@
+/// \file metrics.hpp
+/// \brief Reconstruction-quality metrics (§3.3).
+///
+/// The paper evaluates four metrics on the test wedges, all reproduced here:
+///   MAE   — mean |recon - truth| over all voxels (lower better)
+///   PSNR  — 10 log10(peak^2 / MSE) with peak = 10 (the log-ADC range)
+///   precision / recall — voxel classification of "occupied", where the
+///     prediction is positive when the segmentation mask fired (equivalently
+///     recon > 0, since the regression transform keeps values above 6) and
+///     ground truth is positive when the true log-ADC exceeds 6.
+#pragma once
+
+#include <cstdint>
+
+#include "core/tensor.hpp"
+
+namespace nc::metrics {
+
+struct ReconstructionMetrics {
+  double mae = 0.0;
+  double mse = 0.0;
+  double psnr = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  std::int64_t true_positive = 0;
+  std::int64_t predicted_positive = 0;
+  std::int64_t actual_positive = 0;
+};
+
+/// Evaluate a reconstruction against ground truth.  `positive_threshold` is
+/// the log-ADC cut defining an occupied voxel in the *truth* (6, the zero-
+/// suppression edge); a *predicted* voxel counts as positive when its
+/// reconstruction is nonzero (the BCAE mask semantics — also correct for
+/// the learning-free baselines, which reconstruct suppressed voxels as 0).
+ReconstructionMetrics evaluate_reconstruction(const core::Tensor& recon,
+                                              const core::Tensor& truth,
+                                              double peak = 10.0,
+                                              double positive_threshold = 6.0);
+
+/// Merge per-batch metrics into a running aggregate (weighted by voxel and
+/// classification counts so the result equals a single global evaluation).
+class MetricsAccumulator {
+ public:
+  void add(const ReconstructionMetrics& m, std::int64_t voxels);
+  ReconstructionMetrics result(double peak = 10.0) const;
+  std::int64_t total_voxels() const { return voxels_; }
+
+ private:
+  double abs_sum_ = 0.0;
+  double sq_sum_ = 0.0;
+  std::int64_t voxels_ = 0;
+  std::int64_t tp_ = 0, pred_pos_ = 0, actual_pos_ = 0;
+};
+
+}  // namespace nc::metrics

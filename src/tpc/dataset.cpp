@@ -1,0 +1,187 @@
+#include "tpc/dataset.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+#include "util/serialize.hpp"
+
+namespace nc::tpc {
+
+namespace {
+constexpr char kKind[4] = {'W', 'D', 'G', 'S'};
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+core::Tensor pad_wedge(const core::Tensor& wedge, std::int64_t padded_horiz) {
+  const std::int64_t radial = wedge.dim(0), azim = wedge.dim(1), horiz = wedge.dim(2);
+  if (padded_horiz < horiz) {
+    throw std::invalid_argument("pad_wedge: padded length shorter than data");
+  }
+  core::Tensor out({radial, azim, padded_horiz});
+  const float* src = wedge.data();
+  float* dst = out.data();
+  for (std::int64_t ra = 0; ra < radial * azim; ++ra) {
+    std::copy(src + ra * horiz, src + (ra + 1) * horiz, dst + ra * padded_horiz);
+  }
+  return out;
+}
+
+core::Tensor clip_horizontal(const core::Tensor& t, std::int64_t valid_horiz) {
+  const std::int64_t padded = t.dim(t.ndim() - 1);
+  if (valid_horiz > padded) {
+    throw std::invalid_argument("clip_horizontal: valid length exceeds data");
+  }
+  core::Shape out_shape = t.shape();
+  out_shape.back() = valid_horiz;
+  core::Tensor out(out_shape);
+  const std::int64_t rows = t.numel() / padded;
+  const float* src = t.data();
+  float* dst = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::copy(src + r * padded, src + r * padded + valid_horiz,
+              dst + r * valid_horiz);
+  }
+  return out;
+}
+
+WedgeDataset WedgeDataset::generate(const DatasetConfig& config) {
+  WedgeDataset ds;
+  ds.shape_ = config.geometry.wedge_shape();
+  const std::int64_t ph = ds.shape_.padded_horiz();
+
+  const std::int64_t n_events = config.n_events;
+  std::vector<std::vector<core::Tensor>> per_event(
+      static_cast<std::size_t>(n_events));
+
+  // Events are independent Monte-Carlo draws: parallelize with one seeded
+  // generator per event so results do not depend on thread schedule.
+  util::parallel_for(
+      0, n_events,
+      [&](std::int64_t e) {
+        EventGenerator gen(config.geometry, config.generator,
+                           config.seed + 0x9E37ull * static_cast<std::uint64_t>(e + 1));
+        auto wedges = gen.generate_wedges();
+        auto& out = per_event[static_cast<std::size_t>(e)];
+        out.reserve(wedges.size());
+        for (auto& w : wedges) out.push_back(pad_wedge(w, ph));
+      },
+      1);
+
+  // Event-level split, in order (deterministic).  With >= 2 events both
+  // splits are guaranteed non-empty regardless of the fraction/rounding.
+  std::int64_t n_train =
+      static_cast<std::int64_t>(static_cast<double>(n_events) * config.train_fraction + 0.5);
+  if (n_events >= 2) {
+    n_train = std::clamp<std::int64_t>(n_train, 1, n_events - 1);
+  }
+  for (std::int64_t e = 0; e < n_events; ++e) {
+    auto& dst = e < n_train ? ds.train_ : ds.test_;
+    for (auto& w : per_event[static_cast<std::size_t>(e)]) dst.push_back(std::move(w));
+  }
+  return ds;
+}
+
+double WedgeDataset::occupancy() const {
+  const std::int64_t ph = padded_horiz();
+  const std::int64_t vh = valid_horiz();
+  std::int64_t nonzero = 0, total = 0;
+  for (const auto* pool : {&train_, &test_}) {
+    for (const auto& w : *pool) {
+      const float* p = w.data();
+      const std::int64_t rows = w.numel() / ph;
+      for (std::int64_t r = 0; r < rows; ++r) {
+        for (std::int64_t h = 0; h < vh; ++h) {
+          nonzero += p[r * ph + h] > 0.f ? 1 : 0;
+        }
+      }
+      total += rows * vh;
+    }
+  }
+  return total ? static_cast<double>(nonzero) / static_cast<double>(total) : 0.0;
+}
+
+std::vector<std::int64_t> WedgeDataset::log_adc_histogram(std::int64_t bins) const {
+  std::vector<std::int64_t> hist(static_cast<std::size_t>(bins), 0);
+  const std::int64_t ph = padded_horiz();
+  const std::int64_t vh = valid_horiz();
+  const double scale = static_cast<double>(bins) / 10.0;
+  for (const auto* pool : {&train_, &test_}) {
+    for (const auto& w : *pool) {
+      const float* p = w.data();
+      const std::int64_t rows = w.numel() / ph;
+      for (std::int64_t r = 0; r < rows; ++r) {
+        for (std::int64_t h = 0; h < vh; ++h) {
+          const double v = p[r * ph + h];
+          auto b = static_cast<std::int64_t>(v * scale);
+          if (b >= bins) b = bins - 1;
+          if (b < 0) b = 0;
+          ++hist[static_cast<std::size_t>(b)];
+        }
+      }
+    }
+  }
+  return hist;
+}
+
+core::Tensor WedgeDataset::batch_2d(const std::vector<core::Tensor>& pool,
+                                    const std::vector<std::int64_t>& indices) const {
+  const std::int64_t n = static_cast<std::int64_t>(indices.size());
+  const std::int64_t radial = shape_.radial, azim = shape_.azim, ph = padded_horiz();
+  core::Tensor out({n, radial, azim, ph});
+  const std::int64_t stride = radial * azim * ph;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto& w = pool.at(static_cast<std::size_t>(indices[static_cast<std::size_t>(i)]));
+    std::copy(w.data(), w.data() + stride, out.data() + i * stride);
+  }
+  return out;
+}
+
+core::Tensor WedgeDataset::batch_3d(const std::vector<core::Tensor>& pool,
+                                    const std::vector<std::int64_t>& indices) const {
+  core::Tensor b = batch_2d(pool, indices);
+  const std::int64_t n = b.dim(0);
+  return b.reshaped({n, 1, shape_.radial, shape_.azim, padded_horiz()});
+}
+
+void WedgeDataset::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  util::write_magic(os, kKind, kVersion);
+  util::write_i64(os, shape_.radial);
+  util::write_i64(os, shape_.azim);
+  util::write_i64(os, shape_.horiz);
+  for (const auto* pool : {&train_, &test_}) {
+    util::write_u64(os, pool->size());
+    for (const auto& w : *pool) {
+      util::write_bytes(os, w.data(),
+                        static_cast<std::size_t>(w.numel()) * sizeof(float));
+    }
+  }
+}
+
+WedgeDataset WedgeDataset::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  util::read_magic(is, kKind);
+  WedgeDataset ds;
+  ds.shape_.radial = util::read_i64(is);
+  ds.shape_.azim = util::read_i64(is);
+  ds.shape_.horiz = util::read_i64(is);
+  const std::int64_t ph = ds.shape_.padded_horiz();
+  const core::Shape wshape{ds.shape_.radial, ds.shape_.azim, ph};
+  const std::int64_t numel = core::shape_numel(wshape);
+  for (auto* pool : {&ds.train_, &ds.test_}) {
+    const std::uint64_t count = util::read_u64(is);
+    pool->reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      core::Tensor w(wshape);
+      util::read_bytes(is, w.data(), static_cast<std::size_t>(numel) * sizeof(float));
+      pool->push_back(std::move(w));
+    }
+  }
+  return ds;
+}
+
+}  // namespace nc::tpc

@@ -1,0 +1,79 @@
+/// \file dataset.hpp
+/// \brief Wedge dataset: generation, train/test split, batching, IO, stats.
+///
+/// Mirrors §2.1's data preparation: events are simulated, each event yields
+/// 24 outer-group wedges, wedges are the unit of compression, and the event
+/// list is split into train/test partitions (the paper: 1310 events ->
+/// 1048 train / 262 test -> 25 152 / 6 288 wedges).  Splitting by *event*
+/// (not by wedge) avoids leaking pile-up structure across the split.
+///
+/// Stored wedges are log-ADC tensors padded along the horizontal axis to a
+/// multiple of 16 (zeros, per §2.3); `valid_horiz()` lets evaluation clip
+/// the padding so metrics are not inflated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tensor.hpp"
+#include "tpc/event_gen.hpp"
+#include "tpc/geometry.hpp"
+
+namespace nc::tpc {
+
+struct DatasetConfig {
+  TpcGeometry geometry = TpcGeometry::bench_scale();
+  EventGenConfig generator;
+  std::int64_t n_events = 16;
+  double train_fraction = 0.8;
+  std::uint64_t seed = 20231023;  ///< default: the paper's arXiv date
+};
+
+class WedgeDataset {
+ public:
+  /// Simulate `config.n_events` events (parallel across events) and split.
+  static WedgeDataset generate(const DatasetConfig& config);
+
+  /// Load a dataset previously written by `save`.
+  static WedgeDataset load(const std::string& path);
+  void save(const std::string& path) const;
+
+  const std::vector<core::Tensor>& train() const { return train_; }
+  const std::vector<core::Tensor>& test() const { return test_; }
+
+  /// Wedge shape (unpadded) and the padded horizontal length of the stored
+  /// tensors.
+  const WedgeShape& wedge_shape() const { return shape_; }
+  std::int64_t valid_horiz() const { return shape_.horiz; }
+  std::int64_t padded_horiz() const { return shape_.padded_horiz(); }
+
+  /// Fraction of nonzero voxels over the *unpadded* region of both splits.
+  double occupancy() const;
+
+  /// Histogram of log-ADC values over the unpadded region (Fig. 3).
+  /// Returns counts for `bins` uniform bins over [0, 10].
+  std::vector<std::int64_t> log_adc_histogram(std::int64_t bins) const;
+
+  /// Stack wedges[indices] into a 2-D network batch (N, radial, azim, ph).
+  core::Tensor batch_2d(const std::vector<core::Tensor>& pool,
+                        const std::vector<std::int64_t>& indices) const;
+
+  /// Stack into a 3-D network batch (N, 1, radial, azim, ph).
+  core::Tensor batch_3d(const std::vector<core::Tensor>& pool,
+                        const std::vector<std::int64_t>& indices) const;
+
+ private:
+  WedgeShape shape_;
+  std::vector<core::Tensor> train_;  ///< each (radial, azim, padded_horiz)
+  std::vector<core::Tensor> test_;
+};
+
+/// Zero-pad a raw wedge (radial, azim, horiz) to (radial, azim, padded).
+core::Tensor pad_wedge(const core::Tensor& wedge, std::int64_t padded_horiz);
+
+/// Drop the horizontal padding again: (..., padded) -> (..., valid_horiz).
+/// Works for batched 4-D/5-D tensors as well as single 3-D wedges.
+core::Tensor clip_horizontal(const core::Tensor& t, std::int64_t valid_horiz);
+
+}  // namespace nc::tpc

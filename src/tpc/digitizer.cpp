@@ -1,0 +1,14 @@
+#include "tpc/digitizer.hpp"
+
+namespace nc::tpc {
+
+void Digitizer::digitize(const std::vector<float>& charge,
+                         std::vector<std::uint16_t>& adc,
+                         util::Rng& rng) const {
+  adc.resize(charge.size());
+  for (std::size_t i = 0; i < charge.size(); ++i) {
+    adc[i] = digitize_voxel(charge[i], rng);
+  }
+}
+
+}  // namespace nc::tpc

@@ -1,0 +1,171 @@
+#include "tpc/event_gen.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace nc::tpc {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+EventGenerator::EventGenerator(TpcGeometry geom, EventGenConfig config,
+                               std::uint64_t seed)
+    : geom_(geom), config_(config), digitizer_(config.digitizer), rng_(seed) {}
+
+EventAdc EventGenerator::generate_event() {
+  const std::int64_t radial = geom_.layers_per_group;
+  const std::int64_t azim = geom_.azim_bins();
+  const std::int64_t zbins = geom_.z_bins();
+  std::vector<float> charge(static_cast<std::size_t>(radial * azim * zbins), 0.f);
+
+  // --- primary (triggered, central) collision ------------------------------
+  const double vertex_z = rng_.normal(0.0, config_.vertex_z_sigma);
+  const int n_primary = rng_.poisson(config_.mean_primary_tracks);
+  for (int t = 0; t < n_primary; ++t) {
+    TrackParams track;
+    track.pt = rng_.power_law(config_.pt_alpha, config_.pt_min, config_.pt_max);
+    track.eta = rng_.uniform(-config_.eta_max, config_.eta_max);
+    track.phi0 = rng_.uniform(0.0, kTwoPi);
+    track.charge = rng_.uniform() < 0.5 ? 1 : -1;
+    track.z0 = vertex_z;
+    deposit_track(track, charge);
+  }
+
+  // --- pile-up: min-bias collisions elsewhere in the drift window ----------
+  const int n_pileup = rng_.poisson(config_.mean_pileup_events);
+  for (int e = 0; e < n_pileup; ++e) {
+    // Out-of-time pile-up appears shifted along the drift (z/time) axis, so
+    // an effective vertex anywhere in the drift volume is the right model.
+    const double pileup_z =
+        rng_.uniform(-0.9 * geom_.z_half_length, 0.9 * geom_.z_half_length);
+    const int n_tracks = static_cast<int>(
+        rng_.uniform(config_.pileup_tracks_min, config_.pileup_tracks_max));
+    for (int t = 0; t < n_tracks; ++t) {
+      TrackParams track;
+      track.pt = rng_.power_law(config_.pt_alpha, config_.pt_min, config_.pt_max);
+      track.eta = rng_.uniform(-config_.eta_max, config_.eta_max);
+      track.phi0 = rng_.uniform(0.0, kTwoPi);
+      track.charge = rng_.uniform() < 0.5 ? 1 : -1;
+      track.z0 = pileup_z;
+      deposit_track(track, charge);
+    }
+  }
+
+  EventAdc event;
+  event.radial = radial;
+  event.azim = azim;
+  event.z = zbins;
+  digitizer_.digitize(charge, event.adc, rng_);
+  return event;
+}
+
+void EventGenerator::deposit_track(const TrackParams& track,
+                                   std::vector<float>& charge) {
+  const Helix helix(track, geom_.b_field);
+  // Path-length inflation for inclined tracks: dE ∝ ds = dr * cosh(eta).
+  const double incline = std::cosh(track.eta);
+  for (int l = 0; l < geom_.layers_per_group; ++l) {
+    const double r = geom_.layer_radius(LayerGroup::kOuter, l);
+    const auto crossing = helix.cross_layer(r, geom_.z_half_length);
+    if (!crossing) break;  // curled up or left the volume; no further layers
+    const double q =
+        (config_.charge_min + rng_.exponential(config_.charge_mean)) * incline;
+    deposit_crossing(l, *crossing, q, charge);
+  }
+}
+
+void EventGenerator::deposit_crossing(int layer, const LayerCrossing& crossing,
+                                      double charge_total,
+                                      std::vector<float>& charge) {
+  const std::int64_t azim = geom_.azim_bins();
+  const std::int64_t zbins = geom_.z_bins();
+  const double r = geom_.layer_radius(LayerGroup::kOuter, layer);
+
+  // Bin pitches in cm.
+  const double azim_pitch = kTwoPi * r / static_cast<double>(azim);
+  const double z_pitch = 2.0 * geom_.z_half_length / static_cast<double>(zbins);
+
+  // Drift distance: electrons drift from the crossing to the nearer endcap.
+  const double drift = geom_.z_half_length - std::abs(crossing.z);
+  const double sqrt_drift = std::sqrt(std::max(drift, 0.0));
+  const double sigma_a = config_.sigma0_azim + config_.diffusion * sqrt_drift;
+  const double sigma_z = config_.sigma0_z + config_.diffusion * sqrt_drift;
+
+  // Fractional bin coordinates of the deposit center.
+  const double a_center = crossing.phi / kTwoPi * static_cast<double>(azim);
+  const double z_center =
+      (crossing.z + geom_.z_half_length) / (2.0 * geom_.z_half_length) *
+      static_cast<double>(zbins);
+
+  const double sigma_a_bins = std::max(sigma_a / azim_pitch, 1e-3);
+  const double sigma_z_bins = std::max(sigma_z / z_pitch, 1e-3);
+  const std::int64_t half_a =
+      std::min<std::int64_t>(3, static_cast<std::int64_t>(3.0 * sigma_a_bins) + 1);
+  const std::int64_t half_z =
+      std::min<std::int64_t>(3, static_cast<std::int64_t>(3.0 * sigma_z_bins) + 1);
+
+  const std::int64_t a0 = static_cast<std::int64_t>(std::floor(a_center));
+  const std::int64_t z0 = static_cast<std::int64_t>(std::floor(z_center));
+
+  // Separable gaussian weights, normalized over the stamp so the total
+  // deposited charge is exactly charge_total regardless of stamp clipping.
+  double wa[7], wz[7];
+  double wa_sum = 0.0, wz_sum = 0.0;
+  for (std::int64_t i = -half_a; i <= half_a; ++i) {
+    const double d = (static_cast<double>(a0 + i) + 0.5 - a_center) / sigma_a_bins;
+    wa[i + half_a] = std::exp(-0.5 * d * d);
+    wa_sum += wa[i + half_a];
+  }
+  for (std::int64_t j = -half_z; j <= half_z; ++j) {
+    const double d = (static_cast<double>(z0 + j) + 0.5 - z_center) / sigma_z_bins;
+    wz[j + half_z] = std::exp(-0.5 * d * d);
+    wz_sum += wz[j + half_z];
+  }
+  const double norm = charge_total / (wa_sum * wz_sum);
+
+  float* plane = charge.data() + static_cast<std::size_t>(layer) * azim * zbins;
+  for (std::int64_t i = -half_a; i <= half_a; ++i) {
+    // Azimuth wraps around the cylinder.
+    std::int64_t a = (a0 + i) % azim;
+    if (a < 0) a += azim;
+    const double wrow = norm * wa[i + half_a];
+    for (std::int64_t j = -half_z; j <= half_z; ++j) {
+      const std::int64_t zz = z0 + j;
+      if (zz < 0 || zz >= zbins) continue;  // charge lost past the endcap
+      plane[a * zbins + zz] += static_cast<float>(wrow * wz[j + half_z]);
+    }
+  }
+}
+
+std::vector<core::Tensor> EventGenerator::slice_wedges(const EventAdc& event) const {
+  const WedgeShape shape = geom_.wedge_shape();
+  const std::int64_t radial = shape.radial;
+  const std::int64_t wa = shape.azim;
+  const std::int64_t wh = shape.horiz;
+  const std::int64_t half = event.z / 2;
+
+  std::vector<core::Tensor> wedges;
+  wedges.reserve(static_cast<std::size_t>(geom_.sectors) * 2);
+  for (int sector = 0; sector < geom_.sectors; ++sector) {
+    for (int side = 0; side < 2; ++side) {
+      core::Tensor w({radial, wa, wh});
+      float* wp = w.data();
+      for (std::int64_t r = 0; r < radial; ++r) {
+        for (std::int64_t a = 0; a < wa; ++a) {
+          const std::int64_t ga = sector * wa + a;
+          for (std::int64_t h = 0; h < wh; ++h) {
+            // Horizontal index 0 sits at the central membrane on both sides,
+            // growing toward the endcap.
+            const std::int64_t gz = side == 0 ? (half - 1 - h) : (half + h);
+            wp[(r * wa + a) * wh + h] = log_adc(event.at(r, ga, gz));
+          }
+        }
+      }
+      wedges.push_back(std::move(w));
+    }
+  }
+  return wedges;
+}
+
+}  // namespace nc::tpc

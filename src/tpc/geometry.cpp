@@ -1,0 +1,19 @@
+#include "tpc/geometry.hpp"
+
+#include <sstream>
+
+namespace nc::tpc {
+
+std::string WedgeShape::to_string() const {
+  std::ostringstream os;
+  os << '(' << radial << ", " << azim << ", " << horiz << ')';
+  return os.str();
+}
+
+double compression_ratio(const WedgeShape& wedge, std::int64_t code_numel) {
+  // Input and code are both treated as 16-bit floats (§3.1), so the ratio is
+  // a pure element-count ratio over the *unpadded* wedge.
+  return static_cast<double>(wedge.voxels()) / static_cast<double>(code_numel);
+}
+
+}  // namespace nc::tpc

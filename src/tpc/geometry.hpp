@@ -1,0 +1,122 @@
+/// \file geometry.hpp
+/// \brief sPHENIX TPC detector geometry and wedge partitioning (§2.1).
+///
+/// The TPC is a cylinder of 48 sensor layers grouped radially into three
+/// layer groups (inner / middle / outer) of 16 consecutive layers each.
+/// Within a group every layer shares the same azimuthal segmentation, so a
+/// group digitizes to a dense 3-D grid (radial, azimuthal, horizontal).
+///
+/// The grid is partitioned into 24 wedges: 12 azimuthal sectors (30° each)
+/// x 2 horizontal halves (split at the transverse plane through the
+/// collision point).  A full-scale outer-group wedge is (16, 192, 249);
+/// padded to 256 along the horizontal for the networks (§2.3).
+///
+/// Everything is parameterized by a `scale` so experiments can run on a
+/// reduced wedge, e.g. scale 1/4 -> (16, 48, 62)->64, with identical
+/// compression-ratio arithmetic (tested).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace nc::tpc {
+
+enum class LayerGroup : int { kInner = 0, kMiddle = 1, kOuter = 2 };
+
+/// Logical shape of one wedge: (radial, azimuthal, horizontal), horizontal
+/// unpadded.
+struct WedgeShape {
+  std::int64_t radial = 16;
+  std::int64_t azim = 192;
+  std::int64_t horiz = 249;
+
+  /// Horizontal length padded up to a multiple of 16 so both the 3-D
+  /// networks (4 stride-2 stages) and the 2-D networks (3 stages) divide
+  /// evenly — the paper pads 249 -> 256.
+  std::int64_t padded_horiz() const { return (horiz + 15) / 16 * 16; }
+
+  std::int64_t voxels() const { return radial * azim * horiz; }
+  std::int64_t padded_voxels() const { return radial * azim * padded_horiz(); }
+
+  bool operator==(const WedgeShape&) const = default;
+  std::string to_string() const;
+};
+
+/// Full detector description.  Distances in cm, field in Tesla.
+struct TpcGeometry {
+  // Radial envelope of the three layer groups (sPHENIX TDR: ~20-78 cm
+  // active TPC radius; 16 layers per group).
+  double r_inner_min = 30.0;
+  double r_group_span = 16.0;  ///< radial span of one 16-layer group
+  int layers_per_group = 16;
+  int n_groups = 3;
+
+  double z_half_length = 105.0;  ///< drift length each side of z = 0
+  double b_field = 1.4;          ///< solenoid field along z
+
+  int sectors = 12;  ///< azimuthal wedge sectors (30 degrees each)
+
+  // Full-scale digitization of the *outer* layer group.
+  std::int64_t azim_bins_full = 2304;  ///< columns around 2*pi
+  std::int64_t z_bins_full = 498;      ///< time bins across both halves
+
+  /// Linear down-scale factor for experiments (1 = paper scale).  Applies to
+  /// the azimuthal and horizontal binning only; radial layer count is part
+  /// of the architecture and never scales.
+  double scale = 1.0;
+
+  /// Scaled azimuthal bins, rounded to a multiple of sectors * 16 so the
+  /// 12-sector wedge partition stays exact AND every wedge's azimuthal
+  /// extent divides by 16 — required by the 3-D variants' four stride-2
+  /// stages (192 = 12 * 16 at paper scale).
+  std::int64_t azim_bins() const {
+    const auto raw = static_cast<std::int64_t>(azim_bins_full * scale + 0.5);
+    const std::int64_t s = sectors * 16;
+    return std::max<std::int64_t>(s, (raw + s / 2) / s * s);
+  }
+  /// Scaled z bins, rounded to an even count so the two-half split is exact.
+  std::int64_t z_bins() const {
+    const auto raw = static_cast<std::int64_t>(z_bins_full * scale + 0.5);
+    return std::max<std::int64_t>(2, raw / 2 * 2);
+  }
+
+  /// Wedge shape for a layer group at the current scale.
+  WedgeShape wedge_shape() const {
+    return WedgeShape{layers_per_group, azim_bins() / sectors, z_bins() / 2};
+  }
+
+  /// Radius of layer `l` (0-based within `group`), at layer centers.
+  double layer_radius(LayerGroup group, int l) const {
+    const double r0 = r_inner_min + static_cast<int>(group) * r_group_span;
+    return r0 + (l + 0.5) * r_group_span / layers_per_group;
+  }
+
+  /// Total voxels in the outer group 3-D picture at this scale.
+  std::int64_t group_voxels() const {
+    return layers_per_group * azim_bins() * z_bins();
+  }
+
+  /// The paper's experiment scale: full-size wedges (16, 192, 249).
+  static TpcGeometry paper_scale() { return TpcGeometry{}; }
+
+  /// Reduced geometry used by CPU-budget experiments: (16, 48, 62).
+  static TpcGeometry bench_scale() {
+    TpcGeometry g;
+    g.scale = 0.25;
+    return g;
+  }
+};
+
+/// Identifies one wedge within an event.
+struct WedgeId {
+  std::int64_t event = 0;
+  int sector = 0;  ///< [0, 12)
+  int side = 0;    ///< 0: z < 0, 1: z >= 0
+};
+
+/// Compression-ratio arithmetic (§3.1): ratio of unpadded wedge size to code
+/// size, both as 16-bit values.
+double compression_ratio(const WedgeShape& wedge, std::int64_t code_numel);
+
+}  // namespace nc::tpc

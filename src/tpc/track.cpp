@@ -1,0 +1,39 @@
+#include "tpc/track.hpp"
+
+#include <numbers>
+
+namespace nc::tpc {
+
+namespace {
+// pT [GeV/c] = 0.003 * |q| * B [T] * R [cm]  (0.3 * B * R with R in m).
+constexpr double kCurvatureConstant = 0.003;
+
+double wrap_two_pi(double phi) {
+  constexpr double two_pi = 2.0 * std::numbers::pi;
+  phi = std::fmod(phi, two_pi);
+  return phi < 0.0 ? phi + two_pi : phi;
+}
+}  // namespace
+
+Helix::Helix(const TrackParams& params, double b_field)
+    : params_(params),
+      radius_(params.pt / (kCurvatureConstant * b_field)),
+      sinh_eta_(std::sinh(params.eta)) {}
+
+std::optional<LayerCrossing> Helix::cross_layer(double r, double z_half) const {
+  const double two_r = 2.0 * radius_;
+  if (r >= two_r) return std::nullopt;  // track curls up inside this radius
+
+  const double half_angle = std::asin(r / two_r);
+  const double arc = two_r * half_angle;
+  const double z = params_.z0 + arc * sinh_eta_;
+  if (std::abs(z) >= z_half) return std::nullopt;  // outside drift volume
+
+  LayerCrossing c;
+  c.phi = wrap_two_pi(params_.phi0 + params_.charge * half_angle);
+  c.z = z;
+  c.path = arc;
+  return c;
+}
+
+}  // namespace nc::tpc

@@ -1,0 +1,52 @@
+/// \file track.hpp
+/// \brief Charged-particle helix model in the TPC solenoid field.
+///
+/// A charged track from the collision vertex follows a helix: a circle in
+/// the transverse (x, y) plane of radius R = pT / (0.003 |q| B) (pT in
+/// GeV/c, B in Tesla, R in cm) and uniform motion along z with slope
+/// dz/ds_T = sinh(eta).  For a circle through the origin, the crossing of a
+/// detector cylinder of radius r (< 2R) is analytic — no stepping needed:
+///   phi(r) = phi0 + q * asin(r / 2R),   arc s_T(r) = 2R asin(r / 2R),
+///   z(r)   = z0 + s_T(r) * sinh(eta).
+#pragma once
+
+#include <cmath>
+#include <optional>
+
+namespace nc::tpc {
+
+/// Kinematic track parameters at the vertex.
+struct TrackParams {
+  double pt = 1.0;      ///< transverse momentum [GeV/c]
+  double eta = 0.0;     ///< pseudo-rapidity
+  double phi0 = 0.0;    ///< initial azimuth [rad]
+  int charge = 1;       ///< +-1
+  double z0 = 0.0;      ///< vertex z [cm]
+};
+
+/// Point where a helix crosses a cylinder of radius r.
+struct LayerCrossing {
+  double phi = 0.0;     ///< azimuth of the crossing [rad], wrapped to [0, 2pi)
+  double z = 0.0;       ///< z of the crossing [cm]
+  double path = 0.0;    ///< transverse arc length from the vertex [cm]
+};
+
+class Helix {
+ public:
+  Helix(const TrackParams& params, double b_field);
+
+  /// Crossing with the cylinder of radius `r`, or nullopt when the track
+  /// curls up before reaching it (r >= 2R) or exits the drift volume
+  /// (|z| > z_half).
+  std::optional<LayerCrossing> cross_layer(double r, double z_half) const;
+
+  double curvature_radius() const { return radius_; }
+  const TrackParams& params() const { return params_; }
+
+ private:
+  TrackParams params_;
+  double radius_;       ///< transverse curvature radius [cm]
+  double sinh_eta_;
+};
+
+}  // namespace nc::tpc

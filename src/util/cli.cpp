@@ -1,0 +1,93 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace nc::util {
+
+void ArgParser::add_option(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  options_[name] = Option{default_value, help, /*is_flag=*/false};
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  options_[name] = Option{"false", help, /*is_flag=*/true};
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(name);
+    if (it == options_.end()) {
+      std::fprintf(stderr, "error: unknown flag --%s\n", name.c_str());
+      print_usage();
+      return false;
+    }
+    if (it->second.is_flag) {
+      values_[name] = has_value ? value : "true";
+    } else {
+      if (!has_value) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "error: --%s expects a value\n", name.c_str());
+          return false;
+        }
+        value = argv[++i];
+      }
+      values_[name] = value;
+    }
+  }
+  return true;
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  if (auto it = values_.find(name); it != values_.end()) return it->second;
+  if (auto it = options_.find(name); it != options_.end())
+    return it->second.default_value;
+  throw std::invalid_argument("unregistered option: " + name);
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return std::stoll(get(name));
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return std::stod(get(name));
+}
+
+bool ArgParser::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+void ArgParser::print_usage() const {
+  std::fprintf(stderr, "%s — %s\n\noptions:\n", program_.c_str(),
+               description_.c_str());
+  for (const auto& [name, opt] : options_) {
+    if (opt.is_flag) {
+      std::fprintf(stderr, "  --%-24s %s\n", name.c_str(), opt.help.c_str());
+    } else {
+      std::fprintf(stderr, "  --%-24s %s (default: %s)\n",
+                   (name + " <v>").c_str(), opt.help.c_str(),
+                   opt.default_value.c_str());
+    }
+  }
+}
+
+}  // namespace nc::util

@@ -1,0 +1,56 @@
+/// \file cli.hpp
+/// \brief Tiny command-line flag parser used by the example binaries.
+///
+/// Supports `--name value`, `--name=value` and boolean `--flag` forms.
+/// Unknown flags raise an error listing the registered options, so examples
+/// are self-documenting via `--help`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nc::util {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Register an option with a default value (rendered in --help).
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  /// Register a boolean flag (false unless present).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv.  Returns false if --help was requested (usage printed) or
+  /// an unknown/malformed flag was seen (error printed).
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Positional arguments left after flag parsing.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  void print_usage() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace nc::util

@@ -1,0 +1,36 @@
+#include "util/half.hpp"
+
+#if defined(__F16C__) && defined(__AVX2__)
+#include <immintrin.h>
+#define NC_HALF_F16C 1
+#else
+#define NC_HALF_F16C 0
+#endif
+
+namespace nc::util {
+
+void float_to_half_n(const float* src, half* dst, std::int64_t n) {
+  std::int64_t i = 0;
+#if NC_HALF_F16C
+  for (; i + 8 <= n; i += 8) {
+    const __m256 f = _mm256_loadu_ps(src + i);
+    const __m128i h = _mm256_cvtps_ph(f, _MM_FROUND_TO_NEAREST_INT);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), h);
+  }
+#endif
+  for (; i < n; ++i) dst[i] = half(src[i]);
+}
+
+void half_to_float_n(const half* src, float* dst, std::int64_t n) {
+  std::int64_t i = 0;
+#if NC_HALF_F16C
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+  }
+#endif
+  for (; i < n; ++i) dst[i] = static_cast<float>(src[i]);
+}
+
+}  // namespace nc::util

@@ -1,0 +1,152 @@
+/// \file half.hpp
+/// \brief IEEE-754 binary16 ("half") storage type used by the half-precision
+///        inference path.
+///
+/// The paper's half-precision mode casts encoder weights and inputs to 16-bit
+/// floats while GEMM accumulation stays in higher precision (tensor-core
+/// semantics).  We reproduce the same contract on CPU: `half` is a pure
+/// storage format; arithmetic always round-trips through `float`.
+///
+/// On x86-64 gcc/clang provide the native `_Float16` type (lowered to F16C
+/// VCVTPH2PS/VCVTPS2PH when available), which we use when present.  A
+/// bit-exact software conversion is provided as fallback so the library works
+/// on any target.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace nc::util {
+
+#if defined(__FLT16_MANT_DIG__)
+#define NC_NATIVE_FP16 1
+using native_half_t = _Float16;
+#else
+#define NC_NATIVE_FP16 0
+#endif
+
+/// Software float -> binary16 conversion (round-to-nearest-even).
+/// Used by the fallback path and by tests to validate the native path.
+constexpr std::uint16_t float_to_half_bits_sw(float f) {
+  std::uint32_t x = 0;
+  // constexpr-friendly bit_cast
+  if (__builtin_is_constant_evaluated()) {
+    x = __builtin_bit_cast(std::uint32_t, f);
+  } else {
+    std::memcpy(&x, &f, sizeof(x));
+  }
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::int32_t exp = static_cast<std::int32_t>((x >> 23) & 0xFFu) - 127;
+  std::uint32_t mant = x & 0x007FFFFFu;
+
+  if (exp == 128) {  // Inf / NaN
+    return static_cast<std::uint16_t>(sign | 0x7C00u | (mant ? 0x0200u : 0u));
+  }
+  if (exp > 15) {  // overflow -> Inf
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (exp >= -14) {  // normal range
+    std::uint32_t half_mant = mant >> 13;
+    const std::uint32_t rem = mant & 0x1FFFu;
+    std::uint16_t h = static_cast<std::uint16_t>(
+        sign | (static_cast<std::uint32_t>(exp + 15) << 10) | half_mant);
+    // round to nearest even
+    if (rem > 0x1000u || (rem == 0x1000u && (half_mant & 1u))) ++h;
+    return h;
+  }
+  if (exp >= -25) {  // subnormal half
+    mant |= 0x00800000u;  // implicit leading 1
+    const int shift = -exp - 14 + 13;
+    std::uint32_t half_mant = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1u);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    std::uint16_t h = static_cast<std::uint16_t>(sign | half_mant);
+    if (rem > halfway || (rem == halfway && (half_mant & 1u))) ++h;
+    return h;
+  }
+  return static_cast<std::uint16_t>(sign);  // underflow -> signed zero
+}
+
+/// Software binary16 -> float conversion (exact).
+constexpr float half_bits_to_float_sw(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1Fu;
+  const std::uint32_t mant = h & 0x3FFu;
+  std::uint32_t out = 0;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // signed zero
+    } else {
+      // subnormal: normalize
+      int e = -1;
+      std::uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      out = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+            ((m & 0x3FFu) << 13);
+    }
+  } else if (exp == 31) {
+    out = sign | 0x7F800000u | (mant << 13);  // Inf / NaN
+  } else {
+    out = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  if (__builtin_is_constant_evaluated()) {
+    return __builtin_bit_cast(float, out);
+  }
+  float f = 0.f;
+  std::memcpy(&f, &out, sizeof(f));
+  return f;
+}
+
+/// 16-bit floating point storage type.
+///
+/// Implicitly converts to/from `float`; all arithmetic happens in `float`.
+/// `sizeof(half) == 2` and the type is trivially copyable so tensors of
+/// `half` can be memcpy'd and serialized directly.
+class half {
+ public:
+  half() = default;
+
+  half(float f) {  // NOLINT(google-explicit-constructor): storage type
+#if NC_NATIVE_FP16
+    value_ = static_cast<native_half_t>(f);
+#else
+    bits_ = float_to_half_bits_sw(f);
+#endif
+  }
+
+  operator float() const {  // NOLINT(google-explicit-constructor)
+#if NC_NATIVE_FP16
+    return static_cast<float>(value_);
+#else
+    return half_bits_to_float_sw(bits_);
+#endif
+  }
+
+  /// Raw bit pattern (for serialization and tests).
+  std::uint16_t bits() const { return __builtin_bit_cast(std::uint16_t, *this); }
+
+  static half from_bits(std::uint16_t b) {
+    return __builtin_bit_cast(half, b);
+  }
+
+ private:
+#if NC_NATIVE_FP16
+  native_half_t value_ = 0;
+#else
+  std::uint16_t bits_ = 0;
+#endif
+};
+
+static_assert(sizeof(half) == 2, "half must be 2 bytes");
+
+/// Bulk float32 -> binary16 conversion.  Uses F16C (8 lanes per VCVTPS2PH)
+/// when available; scalar native/software conversion otherwise.
+void float_to_half_n(const float* src, half* dst, std::int64_t n);
+
+/// Bulk binary16 -> float32 conversion (VCVTPH2PS under F16C).
+void half_to_float_n(const half* src, float* dst, std::int64_t n);
+
+}  // namespace nc::util

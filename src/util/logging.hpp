@@ -1,0 +1,48 @@
+/// \file logging.hpp
+/// \brief Minimal leveled logger writing to stderr.
+///
+/// The library itself logs sparingly (trainer progress, codec warnings);
+/// benches and examples use INFO-level progress lines.  Thread-safe via an
+/// internal mutex; formatting uses iostreams to avoid a fmt dependency.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace nc::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (thread-safe).  Prefer the NC_LOG_* macros.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace nc::util
+
+#define NC_LOG_DEBUG ::nc::util::detail::LogLine(::nc::util::LogLevel::kDebug)
+#define NC_LOG_INFO ::nc::util::detail::LogLine(::nc::util::LogLevel::kInfo)
+#define NC_LOG_WARN ::nc::util::detail::LogLine(::nc::util::LogLevel::kWarn)
+#define NC_LOG_ERROR ::nc::util::detail::LogLine(::nc::util::LogLevel::kError)

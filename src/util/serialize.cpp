@@ -1,0 +1,81 @@
+#include "util/serialize.hpp"
+
+#include <cstring>
+
+namespace nc::util {
+
+namespace {
+template <typename T>
+void write_raw(std::ostream& os, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  os.write(buf, sizeof(T));
+}
+
+template <typename T>
+T read_raw(std::istream& is) {
+  char buf[sizeof(T)];
+  is.read(buf, sizeof(T));
+  if (is.gcount() != static_cast<std::streamsize>(sizeof(T))) {
+    throw SerializeError("unexpected end of stream");
+  }
+  T v;
+  std::memcpy(&v, buf, sizeof(T));
+  return v;
+}
+}  // namespace
+
+void write_u32(std::ostream& os, std::uint32_t v) { write_raw(os, v); }
+void write_u64(std::ostream& os, std::uint64_t v) { write_raw(os, v); }
+void write_i64(std::ostream& os, std::int64_t v) { write_raw(os, v); }
+void write_f32(std::ostream& os, float v) { write_raw(os, v); }
+void write_f64(std::ostream& os, double v) { write_raw(os, v); }
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void write_bytes(std::ostream& os, const void* data, std::size_t n) {
+  os.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+}
+
+std::uint32_t read_u32(std::istream& is) { return read_raw<std::uint32_t>(is); }
+std::uint64_t read_u64(std::istream& is) { return read_raw<std::uint64_t>(is); }
+std::int64_t read_i64(std::istream& is) { return read_raw<std::int64_t>(is); }
+float read_f32(std::istream& is) { return read_raw<float>(is); }
+double read_f64(std::istream& is) { return read_raw<double>(is); }
+
+std::string read_string(std::istream& is) {
+  const std::uint64_t n = read_u64(is);
+  if (n > (1ull << 30)) throw SerializeError("string length implausible");
+  std::string s(n, '\0');
+  read_bytes(is, s.data(), n);
+  return s;
+}
+
+void read_bytes(std::istream& is, void* data, std::size_t n) {
+  is.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  if (is.gcount() != static_cast<std::streamsize>(n)) {
+    throw SerializeError("unexpected end of stream");
+  }
+}
+
+void write_magic(std::ostream& os, const char kind[4], std::uint32_t version) {
+  os.write("NCMP", 4);
+  os.write(kind, 4);
+  write_u32(os, version);
+}
+
+std::uint32_t read_magic(std::istream& is, const char kind[4]) {
+  char buf[8];
+  is.read(buf, 8);
+  if (is.gcount() != 8 || std::memcmp(buf, "NCMP", 4) != 0 ||
+      std::memcmp(buf + 4, kind, 4) != 0) {
+    throw SerializeError("bad magic header");
+  }
+  return read_u32(is);
+}
+
+}  // namespace nc::util

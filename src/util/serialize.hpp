@@ -1,0 +1,74 @@
+/// \file serialize.hpp
+/// \brief Little-endian binary serialization helpers and a simple chunked
+///        container format used for datasets, checkpoints and compressed
+///        streams.
+///
+/// Format: every file starts with an 8-byte magic and a version; the payload
+/// is a sequence of (tag, byte-length, bytes) chunks.  Readers validate
+/// lengths so truncated files fail loudly rather than yielding garbage.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace nc::util {
+
+/// Error thrown on malformed/truncated input streams.
+class SerializeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// --- primitive writers -----------------------------------------------------
+
+void write_u32(std::ostream& os, std::uint32_t v);
+void write_u64(std::ostream& os, std::uint64_t v);
+void write_i64(std::ostream& os, std::int64_t v);
+void write_f32(std::ostream& os, float v);
+void write_f64(std::ostream& os, double v);
+void write_string(std::ostream& os, const std::string& s);
+void write_bytes(std::ostream& os, const void* data, std::size_t n);
+
+// --- primitive readers (throw SerializeError on EOF) -----------------------
+
+std::uint32_t read_u32(std::istream& is);
+std::uint64_t read_u64(std::istream& is);
+std::int64_t read_i64(std::istream& is);
+float read_f32(std::istream& is);
+double read_f64(std::istream& is);
+std::string read_string(std::istream& is);
+void read_bytes(std::istream& is, void* data, std::size_t n);
+
+// --- vector helpers ---------------------------------------------------------
+
+template <typename T>
+void write_pod_vector(std::ostream& os, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  write_u64(os, v.size());
+  write_bytes(os, v.data(), v.size() * sizeof(T));
+}
+
+template <typename T>
+std::vector<T> read_pod_vector(std::istream& is) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::uint64_t n = read_u64(is);
+  // Guard against absurd lengths from corrupt files (16 GiB cap).
+  if (n * sizeof(T) > (1ull << 34)) {
+    throw SerializeError("pod vector length implausible: " + std::to_string(n));
+  }
+  std::vector<T> v(n);
+  read_bytes(is, v.data(), n * sizeof(T));
+  return v;
+}
+
+/// Write a magic header ("NCMP" + 4-char kind) and format version.
+void write_magic(std::ostream& os, const char kind[4], std::uint32_t version);
+
+/// Read and validate a magic header; returns the version.
+std::uint32_t read_magic(std::istream& is, const char kind[4]);
+
+}  // namespace nc::util

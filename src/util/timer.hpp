@@ -1,0 +1,53 @@
+/// \file timer.hpp
+/// \brief Wall-clock timing utilities for throughput measurement.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace nc::util {
+
+/// Monotonic stopwatch.  `elapsed_s()` returns seconds since construction or
+/// the last `reset()`.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_s() * 1e3; }
+  double elapsed_us() const { return elapsed_s() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulating timer: sums durations across start/stop windows.
+/// Used by the per-layer profiler.
+class Accumulator {
+ public:
+  void start() { t_.reset(); }
+  void stop() {
+    total_s_ += t_.elapsed_s();
+    ++count_;
+  }
+  double total_s() const { return total_s_; }
+  std::uint64_t count() const { return count_; }
+  double mean_s() const { return count_ ? total_s_ / static_cast<double>(count_) : 0.0; }
+  void clear() {
+    total_s_ = 0.0;
+    count_ = 0;
+  }
+
+ private:
+  Timer t_;
+  double total_s_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace nc::util

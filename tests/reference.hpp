@@ -1,0 +1,156 @@
+/// \file reference.hpp
+/// \brief Naive reference implementations the optimized kernels are tested
+///        against.  Deliberately simple (quadruple loops, no lowering, no
+///        parallelism) so they are obviously correct.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace nc::testref {
+
+/// C = alpha * op(A) * op(B) + beta * C, row-major, no blocking.
+inline void naive_gemm(bool trans_a, bool trans_b, std::int64_t m,
+                       std::int64_t n, std::int64_t k, float alpha,
+                       const float* a, std::int64_t lda, const float* b,
+                       std::int64_t ldb, float beta, float* c,
+                       std::int64_t ldc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = trans_a ? a[kk * lda + i] : a[i * lda + kk];
+        const float bv = trans_b ? b[j * ldb + kk] : b[kk * ldb + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[i * ldc + j] = alpha * static_cast<float>(acc) + beta * c[i * ldc + j];
+    }
+  }
+}
+
+/// Direct 2-D convolution: x (N,C,H,W), w (O,C,KH,KW), bias (O) optional.
+inline nc::core::Tensor naive_conv2d(const nc::core::Tensor& x,
+                                     const nc::core::Tensor& w,
+                                     const float* bias, std::int64_t sh,
+                                     std::int64_t sw, std::int64_t ph,
+                                     std::int64_t pw) {
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), wd = x.dim(3);
+  const std::int64_t o = w.dim(0), kh = w.dim(2), kw = w.dim(3);
+  const std::int64_t oh = (h + 2 * ph - kh) / sh + 1;
+  const std::int64_t ow = (wd + 2 * pw - kw) / sw + 1;
+  nc::core::Tensor out({n, o, oh, ow});
+  for (std::int64_t s = 0; s < n; ++s)
+    for (std::int64_t oc = 0; oc < o; ++oc)
+      for (std::int64_t oy = 0; oy < oh; ++oy)
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          double acc = bias ? bias[oc] : 0.0;
+          for (std::int64_t ic = 0; ic < c; ++ic)
+            for (std::int64_t ky = 0; ky < kh; ++ky)
+              for (std::int64_t kx = 0; kx < kw; ++kx) {
+                const std::int64_t iy = oy * sh - ph + ky;
+                const std::int64_t ix = ox * sw - pw + kx;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= wd) continue;
+                acc += static_cast<double>(
+                           x.at({s, ic, iy, ix})) *
+                       w.at({oc, ic, ky, kx});
+              }
+          out.at({s, oc, oy, ox}) = static_cast<float>(acc);
+        }
+  return out;
+}
+
+/// Direct 3-D convolution: x (N,C,D,H,W), w (O,C,KD,KH,KW).
+inline nc::core::Tensor naive_conv3d(const nc::core::Tensor& x,
+                                     const nc::core::Tensor& w,
+                                     const float* bias, std::int64_t sd,
+                                     std::int64_t sh, std::int64_t sw,
+                                     std::int64_t pd, std::int64_t ph,
+                                     std::int64_t pw) {
+  const std::int64_t n = x.dim(0), c = x.dim(1), d = x.dim(2), h = x.dim(3),
+                     wd = x.dim(4);
+  const std::int64_t o = w.dim(0), kd = w.dim(2), kh = w.dim(3), kw = w.dim(4);
+  const std::int64_t od = (d + 2 * pd - kd) / sd + 1;
+  const std::int64_t oh = (h + 2 * ph - kh) / sh + 1;
+  const std::int64_t ow = (wd + 2 * pw - kw) / sw + 1;
+  nc::core::Tensor out({n, o, od, oh, ow});
+  for (std::int64_t s = 0; s < n; ++s)
+    for (std::int64_t oc = 0; oc < o; ++oc)
+      for (std::int64_t oz = 0; oz < od; ++oz)
+        for (std::int64_t oy = 0; oy < oh; ++oy)
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            double acc = bias ? bias[oc] : 0.0;
+            for (std::int64_t ic = 0; ic < c; ++ic)
+              for (std::int64_t kz = 0; kz < kd; ++kz)
+                for (std::int64_t ky = 0; ky < kh; ++ky)
+                  for (std::int64_t kx = 0; kx < kw; ++kx) {
+                    const std::int64_t iz = oz * sd - pd + kz;
+                    const std::int64_t iy = oy * sh - ph + ky;
+                    const std::int64_t ix = ox * sw - pw + kx;
+                    if (iz < 0 || iz >= d || iy < 0 || iy >= h || ix < 0 ||
+                        ix >= wd)
+                      continue;
+                    acc += static_cast<double>(x.at({s, ic, iz, iy, ix})) *
+                           w.at({oc, ic, kz, ky, kx});
+                  }
+            out.at({s, oc, oz, oy, ox}) = static_cast<float>(acc);
+          }
+  return out;
+}
+
+/// Direct transposed 2-D convolution (scatter form): x (N,C,H,W),
+/// w (C,O,KH,KW) — PyTorch deconv weight convention.
+inline nc::core::Tensor naive_deconv2d(const nc::core::Tensor& x,
+                                       const nc::core::Tensor& w,
+                                       const float* bias, std::int64_t sh,
+                                       std::int64_t sw, std::int64_t ph,
+                                       std::int64_t pw) {
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), wd = x.dim(3);
+  const std::int64_t o = w.dim(1), kh = w.dim(2), kw = w.dim(3);
+  const std::int64_t oh = (h - 1) * sh - 2 * ph + kh;
+  const std::int64_t ow = (wd - 1) * sw - 2 * pw + kw;
+  nc::core::Tensor out({n, o, oh, ow});
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t oc = 0; oc < o; ++oc)
+      for (std::int64_t oy = 0; oy < oh; ++oy)
+        for (std::int64_t ox = 0; ox < ow; ++ox)
+          out.at({s, oc, oy, ox}) = bias ? bias[oc] : 0.f;
+    for (std::int64_t ic = 0; ic < c; ++ic)
+      for (std::int64_t iy = 0; iy < h; ++iy)
+        for (std::int64_t ix = 0; ix < wd; ++ix) {
+          const float xv = x.at({s, ic, iy, ix});
+          for (std::int64_t oc = 0; oc < o; ++oc)
+            for (std::int64_t ky = 0; ky < kh; ++ky)
+              for (std::int64_t kx = 0; kx < kw; ++kx) {
+                const std::int64_t oy = iy * sh - ph + ky;
+                const std::int64_t ox = ix * sw - pw + kx;
+                if (oy < 0 || oy >= oh || ox < 0 || ox >= ow) continue;
+                out.at({s, oc, oy, ox}) += xv * w.at({ic, oc, ky, kx});
+              }
+        }
+  }
+  return out;
+}
+
+/// Random tensor in [-1, 1].
+inline nc::core::Tensor random_tensor(nc::core::Shape shape, std::uint64_t seed) {
+  nc::util::Rng rng(seed);
+  nc::core::Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+/// Max |a - b| over two same-shaped tensors.
+inline double max_abs_diff(const nc::core::Tensor& a, const nc::core::Tensor& b) {
+  double m = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(a[i]) - b[i]));
+  }
+  return m;
+}
+
+}  // namespace nc::testref

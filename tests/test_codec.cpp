@@ -1,0 +1,172 @@
+/// BCAE codec: round-trip format, compression-ratio accounting, streaming
+/// pipeline semantics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "codec/bcae_codec.hpp"
+#include "codec/stream.hpp"
+#include "tests/reference.hpp"
+#include "tpc/dataset.hpp"
+
+namespace {
+
+using nc::codec::BcaeCodec;
+using nc::codec::CompressedWedge;
+using nc::core::Mode;
+using nc::core::Tensor;
+
+const nc::tpc::WedgeDataset& tiny_dataset() {
+  static const nc::tpc::WedgeDataset ds = [] {
+    nc::tpc::DatasetConfig cfg;
+    cfg.n_events = 2;
+    cfg.geometry.scale = 0.125;
+    cfg.train_fraction = 0.5;
+    return nc::tpc::WedgeDataset::generate(cfg);
+  }();
+  return ds;
+}
+
+/// Unpadded wedge from the dataset pool (the padded store clipped back).
+Tensor raw_wedge(std::size_t i) {
+  const auto& ds = tiny_dataset();
+  return nc::tpc::clip_horizontal(ds.train().at(i), ds.valid_horiz());
+}
+
+TEST(BcaeCodec, CompressProducesDeclaredRatio) {
+  auto model = nc::bcae::make_bcae_2d(nc::bcae::Bcae2dConfig{}, 31);
+  BcaeCodec codec(model, Mode::kEval);
+  const auto cw = codec.compress(raw_wedge(0));
+  // Scaled wedge (16, 32, 31) -> padded (16, 32, 32): code (32, 4, 4).
+  EXPECT_EQ(cw.code_shape, (nc::core::Shape{32, 4, 4}));
+  EXPECT_EQ(cw.payload_bytes(), 512 * 2);
+  EXPECT_NEAR(cw.compression_ratio(), 16.0 * 32 * 31 / 512.0, 1e-9);
+}
+
+TEST(BcaeCodec, RoundTripShapeAndMaskSemantics) {
+  auto model = nc::bcae::make_bcae_ht(33);
+  BcaeCodec codec(model, Mode::kEval);
+  const Tensor original = raw_wedge(1);
+  const auto cw = codec.compress(original);
+  const Tensor recon = codec.decompress(cw);
+  ASSERT_EQ(recon.shape(), original.shape());
+  // BCAE invariant: every reconstructed voxel is 0 or above 6 (§2.2).
+  for (std::int64_t i = 0; i < recon.numel(); ++i) {
+    EXPECT_TRUE(recon[i] == 0.f || recon[i] >= 6.f) << recon[i];
+  }
+}
+
+TEST(BcaeCodec, SerializeDeserializeRoundTrip) {
+  auto model = nc::bcae::make_bcae_ht(35);
+  BcaeCodec codec(model, Mode::kEval);
+  const auto cw = codec.compress(raw_wedge(2));
+
+  std::stringstream buffer;
+  cw.serialize(buffer);
+  const auto back = CompressedWedge::deserialize(buffer);
+  EXPECT_EQ(back.wedge_shape, cw.wedge_shape);
+  EXPECT_EQ(back.code_shape, cw.code_shape);
+  ASSERT_EQ(back.code.size(), cw.code.size());
+  for (std::size_t i = 0; i < cw.code.size(); ++i) {
+    EXPECT_EQ(back.code[i].bits(), cw.code[i].bits());
+  }
+}
+
+TEST(BcaeCodec, BatchMatchesSingleCompression) {
+  auto model = nc::bcae::make_bcae_ht(37);
+  BcaeCodec codec(model, Mode::kEval);
+  const auto singles = {codec.compress(raw_wedge(0)), codec.compress(raw_wedge(1))};
+  const auto batch = codec.compress_batch({raw_wedge(0), raw_wedge(1)});
+  ASSERT_EQ(batch.size(), 2u);
+  std::size_t wi = 0;
+  for (const auto& s : singles) {
+    ASSERT_EQ(batch[wi].code.size(), s.code.size());
+    for (std::size_t i = 0; i < s.code.size(); ++i) {
+      EXPECT_NEAR(static_cast<float>(batch[wi].code[i]),
+                  static_cast<float>(s.code[i]), 1e-4);
+    }
+    ++wi;
+  }
+}
+
+TEST(BcaeCodec, HalfAndFullModeCodesAgree) {
+  auto model = nc::bcae::make_bcae_ht(39);
+  BcaeCodec full(model, Mode::kEval);
+  BcaeCodec half(model, Mode::kEvalHalf);
+  const Tensor w = raw_wedge(3);
+  const auto cf = full.compress(w);
+  const auto ch = half.compress(w);
+  double max_diff = 0, scale = 0;
+  for (std::size_t i = 0; i < cf.code.size(); ++i) {
+    max_diff = std::max(max_diff,
+                        std::abs(static_cast<double>(static_cast<float>(cf.code[i])) -
+                                 static_cast<float>(ch.code[i])));
+    scale = std::max(scale, std::abs(static_cast<double>(static_cast<float>(cf.code[i]))));
+  }
+  EXPECT_LT(max_diff, 0.02 * (scale + 1.0));
+}
+
+TEST(BcaeCodec, RejectsBadInputs) {
+  auto model = nc::bcae::make_bcae_ht(41);
+  EXPECT_THROW(BcaeCodec(model, Mode::kTrain), std::invalid_argument);
+  BcaeCodec codec(model, Mode::kEval);
+  EXPECT_THROW(codec.compress(Tensor({4, 4})), std::invalid_argument);
+}
+
+TEST(BoundedQueue, BackpressureAndClose) {
+  nc::codec::BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 1);
+  q.close();
+  EXPECT_FALSE(q.try_push(4));
+  EXPECT_TRUE(q.pop(v));  // drains remaining
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(q.pop(v));  // closed + empty
+}
+
+TEST(StreamCompressor, CompressesEverySubmittedWedge) {
+  auto model = nc::bcae::make_bcae_ht(43);
+  BcaeCodec codec(model, Mode::kEval);
+  std::atomic<int> received{0};
+  std::atomic<std::int64_t> bytes{0};
+  nc::codec::StreamCompressor stream(
+      codec, /*queue_capacity=*/64, /*batch_size=*/4,
+      [&](CompressedWedge&& cw) {
+        received.fetch_add(1);
+        bytes.fetch_add(cw.payload_bytes());
+      });
+  const int n = 12;
+  for (int i = 0; i < n; ++i) stream.submit(raw_wedge(static_cast<std::size_t>(i % 8)));
+  const auto stats = stream.finish();
+  EXPECT_EQ(stats.wedges_in, n);
+  EXPECT_EQ(stats.wedges_compressed, n);
+  EXPECT_EQ(stats.wedges_dropped, 0);
+  EXPECT_EQ(received.load(), n);
+  EXPECT_EQ(stats.payload_bytes, bytes.load());
+  EXPECT_GT(stats.throughput_wps(), 0.0);
+}
+
+TEST(StreamCompressor, CountsDropsUnderBackpressure) {
+  auto model = nc::bcae::make_bcae_ht(45);
+  BcaeCodec codec(model, Mode::kEval);
+  // Tiny queue + a sink that can't be outrun: some try_submits must fail.
+  nc::codec::StreamCompressor stream(codec, /*queue_capacity=*/1,
+                                     /*batch_size=*/1,
+                                     [](CompressedWedge&&) {});
+  int accepted = 0;
+  const int offered = 200;
+  for (int i = 0; i < offered; ++i) {
+    accepted += stream.try_submit(raw_wedge(static_cast<std::size_t>(i % 8))) ? 1 : 0;
+  }
+  const auto stats = stream.finish();
+  EXPECT_EQ(stats.wedges_in, accepted);
+  EXPECT_EQ(stats.wedges_in + stats.wedges_dropped, offered);
+  EXPECT_EQ(stats.wedges_compressed, accepted);
+}
+
+}  // namespace

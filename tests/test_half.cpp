@@ -1,0 +1,119 @@
+/// Tests for the binary16 storage type: exactness, rounding, edge cases,
+/// and agreement between the native (_Float16/F16C) and software paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/half.hpp"
+
+namespace {
+
+using nc::util::float_to_half_bits_sw;
+using nc::util::half;
+using nc::util::half_bits_to_float_sw;
+
+TEST(Half, ExactlyRepresentableValuesRoundTrip) {
+  // All integers up to 2048 and power-of-two fractions are exact in fp16.
+  for (int i = -2048; i <= 2048; ++i) {
+    const float f = static_cast<float>(i);
+    EXPECT_EQ(static_cast<float>(half(f)), f) << "i=" << i;
+  }
+  for (float f : {0.5f, 0.25f, 0.125f, 1.5f, 3.75f, 0.0625f}) {
+    EXPECT_EQ(static_cast<float>(half(f)), f);
+    EXPECT_EQ(static_cast<float>(half(-f)), -f);
+  }
+}
+
+TEST(Half, ZeroPreservesSign) {
+  EXPECT_EQ(half(0.f).bits(), 0x0000);
+  EXPECT_EQ(half(-0.f).bits(), 0x8000);
+}
+
+TEST(Half, RelativeErrorBounded) {
+  // fp16 has 11 significand bits: relative error <= 2^-11 for normal range.
+  for (float f = 1e-3f; f < 6e4f; f *= 1.37f) {
+    const float back = static_cast<float>(half(f));
+    EXPECT_NEAR(back, f, f * 0x1.0p-10f) << "f=" << f;
+  }
+}
+
+TEST(Half, OverflowGoesToInfinity) {
+  EXPECT_TRUE(std::isinf(static_cast<float>(half(1e6f))));
+  EXPECT_TRUE(std::isinf(static_cast<float>(half(-1e6f))));
+  EXPECT_GT(static_cast<float>(half(1e6f)), 0.f);
+  EXPECT_LT(static_cast<float>(half(-1e6f)), 0.f);
+}
+
+TEST(Half, MaxFiniteValue) {
+  // Largest finite fp16 value is 65504.
+  EXPECT_EQ(static_cast<float>(half(65504.f)), 65504.f);
+}
+
+TEST(Half, SubnormalsRepresented) {
+  // Smallest positive subnormal: 2^-24.
+  const float tiny = 0x1.0p-24f;
+  EXPECT_EQ(static_cast<float>(half(tiny)), tiny);
+  // Below half of that underflows to zero.
+  EXPECT_EQ(static_cast<float>(half(0x1.0p-26f)), 0.f);
+}
+
+TEST(Half, NanPropagates) {
+  EXPECT_TRUE(std::isnan(static_cast<float>(half(std::nanf("")))));
+}
+
+TEST(Half, SoftwareConversionMatchesNativeBits) {
+  // The software converter must agree with whatever the storage type does
+  // (on x86-64 the native path uses hardware conversions).
+  for (int i = 0; i < 20000; ++i) {
+    float f;
+    if (i % 3 == 0) {
+      f = static_cast<float>((i - 10000) * 0.37);
+    } else if (i % 3 == 1) {
+      f = std::ldexp(1.f + 0.001f * static_cast<float>(i % 997), (i % 40) - 20);
+    } else {
+      f = -std::ldexp(1.f + 0.003f * static_cast<float>(i % 991), (i % 30) - 15);
+    }
+    EXPECT_EQ(half(f).bits(), float_to_half_bits_sw(f)) << "f=" << f;
+  }
+}
+
+TEST(Half, SoftwareWidenInvertsSoftwareNarrowExactly) {
+  for (std::uint32_t bits = 0; bits <= 0xFFFF; ++bits) {
+    const auto h = static_cast<std::uint16_t>(bits);
+    const bool is_nan = ((h >> 10) & 0x1F) == 0x1F && (h & 0x3FF) != 0;
+    const float f = half_bits_to_float_sw(h);
+    if (is_nan) {
+      EXPECT_TRUE(std::isnan(f));
+      continue;
+    }
+    // Narrowing an exactly-representable value must return the same bits.
+    EXPECT_EQ(float_to_half_bits_sw(f), h) << "bits=" << bits;
+  }
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 2049 is exactly between 2048 and 2050 in fp16 -> ties to even (2048).
+  EXPECT_EQ(static_cast<float>(half(2049.f)), 2048.f);
+  // 2051 is between 2050 and 2052 -> ties to even (2052).
+  EXPECT_EQ(static_cast<float>(half(2051.f)), 2052.f);
+}
+
+TEST(Half, BulkConversionMatchesScalar) {
+  std::vector<float> src(1003);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = std::sin(static_cast<float>(i)) * 100.f;
+  }
+  std::vector<half> dst(src.size());
+  nc::util::float_to_half_n(src.data(), dst.data(), static_cast<std::int64_t>(src.size()));
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(dst[i].bits(), half(src[i]).bits()) << i;
+  }
+  std::vector<float> back(src.size());
+  nc::util::half_to_float_n(dst.data(), back.data(), static_cast<std::int64_t>(src.size()));
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(back[i], static_cast<float>(dst[i])) << i;
+  }
+}
+
+}  // namespace

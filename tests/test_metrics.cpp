@@ -1,0 +1,92 @@
+/// Reconstruction metrics (§3.3): hand-computed cases + accumulator merging.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/metrics.hpp"
+#include "tests/reference.hpp"
+
+namespace {
+
+using nc::core::Tensor;
+using nc::metrics::evaluate_reconstruction;
+
+TEST(Metrics, HandComputedCase) {
+  // recon:  [7, 0, 8, 0]  (positives at 0, 2)
+  // truth:  [7, 6.5, 0, 0] (positives at 0, 1)
+  const Tensor recon = Tensor::from_vector({4}, {7.f, 0.f, 8.f, 0.f});
+  const Tensor truth = Tensor::from_vector({4}, {7.f, 6.5f, 0.f, 0.f});
+  const auto m = evaluate_reconstruction(recon, truth);
+
+  EXPECT_NEAR(m.mae, (0 + 6.5 + 8 + 0) / 4.0, 1e-6);
+  EXPECT_NEAR(m.mse, (0 + 6.5 * 6.5 + 64 + 0) / 4.0, 1e-5);
+  EXPECT_NEAR(m.psnr, 10.0 * std::log10(100.0 / m.mse), 1e-9);
+  EXPECT_EQ(m.true_positive, 1);
+  EXPECT_EQ(m.predicted_positive, 2);
+  EXPECT_EQ(m.actual_positive, 2);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+}
+
+TEST(Metrics, PerfectReconstruction) {
+  const Tensor t = Tensor::from_vector({3}, {0.f, 7.f, 9.f});
+  const auto m = evaluate_reconstruction(t, t);
+  EXPECT_DOUBLE_EQ(m.mae, 0.0);
+  EXPECT_TRUE(std::isinf(m.psnr));
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+}
+
+TEST(Metrics, AllZeroPredictionHasZeroRecall) {
+  const Tensor recon({4});
+  const Tensor truth = Tensor::from_vector({4}, {7.f, 8.f, 0.f, 0.f});
+  const auto m = evaluate_reconstruction(recon, truth);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);  // no predicted positives
+}
+
+TEST(Metrics, PositiveThresholdIsSix) {
+  // Truth voxels at exactly <= 6 are not counted positive (log-ADC of
+  // nonzero values always exceeds 6).
+  const Tensor recon = Tensor::from_vector({2}, {7.f, 7.f});
+  const Tensor truth = Tensor::from_vector({2}, {6.0f, 6.01f});
+  const auto m = evaluate_reconstruction(recon, truth);
+  EXPECT_EQ(m.actual_positive, 1);
+}
+
+TEST(Metrics, AccumulatorEqualsGlobalEvaluation) {
+  const Tensor ra = nc::testref::random_tensor({1000}, 101);
+  const Tensor rb = nc::testref::random_tensor({500}, 102);
+  Tensor ta = nc::testref::random_tensor({1000}, 103);
+  Tensor tb = nc::testref::random_tensor({500}, 104);
+  // Shift some voxels above 6 so precision/recall are nontrivial.
+  for (std::int64_t i = 0; i < ta.numel(); i += 7) ta[i] += 7.f;
+  for (std::int64_t i = 0; i < tb.numel(); i += 5) tb[i] += 7.f;
+
+  nc::metrics::MetricsAccumulator acc;
+  acc.add(evaluate_reconstruction(ra, ta), ra.numel());
+  acc.add(evaluate_reconstruction(rb, tb), rb.numel());
+  const auto merged = acc.result();
+
+  // Global evaluation over the concatenation.
+  std::vector<float> rv(1500), tv(1500);
+  std::copy(ra.data(), ra.data() + 1000, rv.begin());
+  std::copy(rb.data(), rb.data() + 500, rv.begin() + 1000);
+  std::copy(ta.data(), ta.data() + 1000, tv.begin());
+  std::copy(tb.data(), tb.data() + 500, tv.begin() + 1000);
+  const auto global = evaluate_reconstruction(
+      Tensor::from_vector({1500}, std::move(rv)),
+      Tensor::from_vector({1500}, std::move(tv)));
+
+  EXPECT_NEAR(merged.mae, global.mae, 1e-9);
+  EXPECT_NEAR(merged.mse, global.mse, 1e-9);
+  EXPECT_DOUBLE_EQ(merged.precision, global.precision);
+  EXPECT_DOUBLE_EQ(merged.recall, global.recall);
+}
+
+TEST(Metrics, ShapeMismatchThrows) {
+  EXPECT_THROW(evaluate_reconstruction(Tensor({3}), Tensor({4})),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+/// Statistical and determinism tests for the xoshiro256** RNG wrapper.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using nc::util::Rng;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double mn = 1.0, mx = 0.0, sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    mn = std::min(mn, u);
+    mx = std::max(mx, u);
+    sum += u;
+  }
+  EXPECT_GE(mn, 0.0);
+  EXPECT_LT(mx, 1.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntBoundedAndCoversRange) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const auto v = rng.uniform_int(10);
+    ASSERT_LT(v, 10u);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (int c : counts) EXPECT_GT(c, 4000);  // ~5000 expected
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.5);
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(Rng, PoissonMeanSmallAndLargeLambda) {
+  Rng rng(17);
+  for (double lambda : {0.5, 4.0, 30.0, 200.0}) {
+    const int n = 20000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += rng.poisson(lambda);
+    EXPECT_NEAR(sum / n, lambda, lambda * 0.05 + 0.05) << "lambda=" << lambda;
+  }
+  EXPECT_EQ(rng.poisson(0.0), 0);
+  EXPECT_EQ(rng.poisson(-1.0), 0);
+}
+
+TEST(Rng, PowerLawWithinBounds) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.power_law(2.7, 0.15, 8.0);
+    EXPECT_GE(x, 0.15);
+    EXPECT_LE(x, 8.0);
+  }
+}
+
+TEST(Rng, PowerLawFavorsSmallValues) {
+  Rng rng(23);
+  int low = 0, high = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.power_law(2.7, 0.15, 8.0);
+    (x < 1.0 ? low : high) += 1;
+  }
+  EXPECT_GT(low, 5 * high);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v.begin(), v.end());
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+  // Overwhelmingly unlikely to be identity.
+  std::vector<int> identity(100);
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_NE(v, identity);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(31);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (parent.next_u64() == child.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace

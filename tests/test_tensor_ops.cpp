@@ -1,0 +1,117 @@
+/// Tensor container semantics and elementwise/reduction kernels.
+#include <gtest/gtest.h>
+
+#include "core/ops.hpp"
+#include "core/tensor.hpp"
+#include "tests/reference.hpp"
+
+namespace {
+
+using nc::core::Shape;
+using nc::core::Tensor;
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({3, 4, 5});
+  EXPECT_EQ(t.numel(), 60);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.f);
+}
+
+TEST(Tensor, FromVectorAndAt) {
+  Tensor t = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at({0, 0}), 1.f);
+  EXPECT_EQ(t.at({0, 2}), 3.f);
+  EXPECT_EQ(t.at({1, 0}), 4.f);
+  EXPECT_EQ(t.at({1, 2}), 6.f);
+}
+
+TEST(Tensor, FromVectorSizeMismatchThrows) {
+  EXPECT_THROW(Tensor::from_vector({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, AtOutOfRangeThrows) {
+  Tensor t({2, 2});
+  EXPECT_THROW(t.at({2, 0}), std::out_of_range);
+  EXPECT_THROW(t.at({0, -1}), std::out_of_range);
+  EXPECT_THROW(t.at({0}), std::invalid_argument);  // rank mismatch
+}
+
+TEST(Tensor, ReshapeSharesStorage) {
+  Tensor t({2, 6});
+  Tensor r = t.reshaped({3, 4});
+  EXPECT_TRUE(t.shares_storage_with(r));
+  r[5] = 42.f;
+  EXPECT_EQ(t[5], 42.f);
+  EXPECT_THROW(t.reshaped({5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor t = Tensor::full({4}, 1.f);
+  Tensor c = t.clone();
+  EXPECT_FALSE(t.shares_storage_with(c));
+  c[0] = 9.f;
+  EXPECT_EQ(t[0], 1.f);
+}
+
+TEST(Tensor, HalfTensorRoundTrip) {
+  Tensor t = nc::testref::random_tensor({128}, 5);
+  auto h = nc::core::HalfTensor::from_float(t);
+  Tensor back = h.to_float();
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_NEAR(back[i], t[i], 1e-3);
+  }
+}
+
+TEST(Ops, FillScaleAxpy) {
+  Tensor t({100});
+  nc::core::fill(t, 2.f);
+  nc::core::scale(t, 3.f);
+  EXPECT_EQ(t[50], 6.f);
+  Tensor y({100});
+  nc::core::axpy(0.5f, t, y);
+  EXPECT_EQ(y[0], 3.f);
+  nc::core::add_scalar(y, 1.f);
+  EXPECT_EQ(y[99], 4.f);
+}
+
+TEST(Ops, AddSubMul) {
+  Tensor a = Tensor::from_vector({3}, {1, 2, 3});
+  Tensor b = Tensor::from_vector({3}, {10, 20, 30});
+  const Tensor s = nc::core::add(a, b);
+  EXPECT_EQ(s[1], 22.f);
+  const Tensor d = nc::core::sub(b, a);
+  EXPECT_EQ(d[2], 27.f);
+  const Tensor m = nc::core::mul(a, b);
+  EXPECT_EQ(m[0], 10.f);
+}
+
+TEST(Ops, ShapeMismatchThrows) {
+  Tensor a({3}), b({4});
+  EXPECT_THROW(nc::core::add(a, b), std::invalid_argument);
+  EXPECT_THROW(nc::core::mean_abs_diff(a, b), std::invalid_argument);
+}
+
+TEST(Ops, Reductions) {
+  Tensor t = Tensor::from_vector({5}, {1, -2, 3, -4, 5});
+  EXPECT_DOUBLE_EQ(nc::core::sum(t), 3.0);
+  EXPECT_DOUBLE_EQ(nc::core::mean(t), 0.6);
+  EXPECT_EQ(nc::core::max_value(t), 5.f);
+  EXPECT_EQ(nc::core::min_value(t), -4.f);
+  EXPECT_EQ(nc::core::count_greater(t, 0.f), 3);
+  EXPECT_EQ(nc::core::count_greater(t, 4.9f), 1);
+}
+
+TEST(Ops, MeanAbsDiff) {
+  Tensor a = Tensor::from_vector({4}, {1, 2, 3, 4});
+  Tensor b = Tensor::from_vector({4}, {2, 2, 1, 4});
+  EXPECT_DOUBLE_EQ(nc::core::mean_abs_diff(a, b), (1 + 0 + 2 + 0) / 4.0);
+}
+
+TEST(Ops, LargeTensorParallelReductionMatchesSerial) {
+  // Exercise the OpenMP reduction path (> 2^16 elements).
+  Tensor t = nc::testref::random_tensor({1 << 18}, 77);
+  double serial = 0.0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) serial += t[i];
+  EXPECT_NEAR(nc::core::sum(t), serial, 1e-6 * t.numel());
+}
+
+}  // namespace
