@@ -29,9 +29,14 @@ bool StreamCompressor::try_submit(core::Tensor wedge) {
 }
 
 void StreamCompressor::submit(core::Tensor wedge) {
-  if (queue_.push(std::move(wedge))) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+  const bool accepted = queue_.push(std::move(wedge));
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (accepted) {
     ++stats_.wedges_in;
+  } else {
+    // push() only fails when the queue is closed (submit after finish);
+    // the wedge is lost either way, so it must show up in the drop count.
+    ++stats_.wedges_dropped;
   }
 }
 
@@ -42,16 +47,20 @@ void StreamCompressor::worker_loop() {
   while (true) {
     batch.clear();
     if (queue_.pop_batch(batch, batch_size_) == 0) break;
+    // Time only the compress+sink work: counting from thread start would
+    // fold queue-wait idle into elapsed_s and deflate throughput_wps().
+    timer.reset();
     auto compressed = codec_.compress_batch(batch);
     std::int64_t bytes = 0;
     for (auto& cw : compressed) {
       bytes += cw.payload_bytes();
       sink_(std::move(cw));
     }
+    const double batch_s = timer.elapsed_s();
     std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.wedges_compressed += static_cast<std::int64_t>(compressed.size());
     stats_.payload_bytes += bytes;
-    stats_.elapsed_s = timer.elapsed_s();
+    stats_.elapsed_s += batch_s;
   }
 }
 

@@ -17,6 +17,7 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "codec/bcae_codec.hpp"
 
@@ -94,10 +95,10 @@ class BoundedQueue {
 
 struct StreamStats {
   std::int64_t wedges_in = 0;        ///< accepted into the queue
-  std::int64_t wedges_dropped = 0;   ///< rejected by backpressure
+  std::int64_t wedges_dropped = 0;   ///< lost: backpressure or submit after close
   std::int64_t wedges_compressed = 0;
   std::int64_t payload_bytes = 0;
-  double elapsed_s = 0.0;
+  double elapsed_s = 0.0;           ///< active compress+sink time (excludes queue-wait idle)
   double throughput_wps() const {
     return elapsed_s > 0 ? wedges_compressed / elapsed_s : 0.0;
   }

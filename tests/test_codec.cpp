@@ -129,6 +129,18 @@ TEST(BoundedQueue, BackpressureAndClose) {
   EXPECT_FALSE(q.pop(v));  // closed + empty
 }
 
+TEST(BoundedQueue, CloseWhileDrainDeliversRemainingItems) {
+  nc::codec::BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.try_push(i));
+  q.close();
+  // A closed queue must still hand out what it holds, batch by batch.
+  std::vector<int> drained;
+  EXPECT_EQ(q.pop_batch(drained, 3), 3u);
+  EXPECT_EQ(q.pop_batch(drained, 3), 2u);
+  EXPECT_EQ(drained, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(q.pop_batch(drained, 3), 0u);  // closed + empty
+}
+
 TEST(StreamCompressor, CompressesEverySubmittedWedge) {
   auto model = nc::bcae::make_bcae_ht(43);
   BcaeCodec codec(model, Mode::kEval);
@@ -167,6 +179,26 @@ TEST(StreamCompressor, CountsDropsUnderBackpressure) {
   EXPECT_EQ(stats.wedges_in, accepted);
   EXPECT_EQ(stats.wedges_in + stats.wedges_dropped, offered);
   EXPECT_EQ(stats.wedges_compressed, accepted);
+}
+
+TEST(StreamCompressor, SubmitAfterFinishCountsAsDropped) {
+  auto model = nc::bcae::make_bcae_ht(47);
+  BcaeCodec codec(model, Mode::kEval);
+  std::atomic<int> received{0};
+  nc::codec::StreamCompressor stream(codec, /*queue_capacity=*/8,
+                                     /*batch_size=*/2,
+                                     [&](CompressedWedge&&) { received.fetch_add(1); });
+  const int n = 3;
+  for (int i = 0; i < n; ++i) stream.submit(raw_wedge(static_cast<std::size_t>(i)));
+  (void)stream.finish();
+  // The intake is closed: both submit paths must account the loss.
+  stream.submit(raw_wedge(0));
+  EXPECT_FALSE(stream.try_submit(raw_wedge(1)));
+  const auto stats = stream.finish();
+  EXPECT_EQ(stats.wedges_in, n);
+  EXPECT_EQ(stats.wedges_compressed, n);
+  EXPECT_EQ(stats.wedges_dropped, 2);
+  EXPECT_EQ(received.load(), n);
 }
 
 }  // namespace
