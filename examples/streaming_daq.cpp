@@ -1,16 +1,21 @@
 /// \file streaming_daq.cpp
 /// \brief Streaming DAQ scenario: the deployment the paper motivates (§1).
 ///
-/// A producer thread plays the role of the sPHENIX front-end electronics,
-/// emitting wedges at a configurable rate; the StreamCompressor drains them
-/// through the BCAE encoder in batches.  The example reports sustained
-/// throughput, queue drops under backpressure, and achieved data reduction —
+/// Producer threads play the role of the sPHENIX front-end electronics
+/// (one per fibre bundle), emitting wedges at a configurable aggregate
+/// rate; a pool of compressor workers drains them through the BCAE encoder
+/// in batches.  The example reports sustained throughput, queue drops under
+/// backpressure, achieved data reduction and the per-worker breakdown —
 /// the operational quantities of a streaming-readout DAQ.
 ///
 /// Run:  ./streaming_daq [--rate 200] [--seconds 5] [--batch 16]
+///                       [--workers 1] [--producers 1] [--ordered]
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <thread>
+#include <vector>
 
 #include "codec/stream.hpp"
 #include "tpc/dataset.hpp"
@@ -19,10 +24,13 @@
 int main(int argc, char** argv) {
   using namespace nc;
   util::ArgParser args("streaming_daq", "DAQ-style streaming compression");
-  args.add_option("rate", "200", "wedge arrival rate [wedges/s]");
+  args.add_option("rate", "200", "aggregate wedge arrival rate [wedges/s]");
   args.add_option("seconds", "5", "stream duration");
   args.add_option("batch", "16", "compressor batch size");
   args.add_option("queue", "64", "input queue capacity (backpressure bound)");
+  args.add_option("workers", "1", "compressor worker threads");
+  args.add_option("producers", "1", "front-end producer threads");
+  args.add_flag("ordered", "emit compressed wedges in submission order");
   args.add_flag("half", "use half-precision inference (default: on)");
   if (!args.parse(argc, argv)) return 1;
 
@@ -42,46 +50,80 @@ int main(int argc, char** argv) {
   auto model = bcae::make_bcae_2d(bcae::Bcae2dConfig{}, 7);
   codec::BcaeCodec wedge_codec(model, core::Mode::kEvalHalf);
 
-  std::int64_t stored_bytes = 0;
-  codec::StreamCompressor stream(
-      wedge_codec, static_cast<std::size_t>(args.get_int("queue")),
-      static_cast<std::size_t>(args.get_int("batch")),
-      [&](codec::CompressedWedge&& cw) { stored_bytes += cw.payload_bytes(); });
+  // Clamp before the size_t casts: a negative flag value must not wrap into
+  // an astronomically large queue or worker count.
+  codec::StreamOptions options;
+  options.queue_capacity =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("queue")));
+  options.batch_size =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("batch")));
+  options.n_workers =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("workers")));
+  options.ordered = args.get_bool("ordered");
 
-  // Producer: fixed-rate wedge source.
+  // With several workers the (unordered) sink runs concurrently: atomics.
+  std::atomic<std::int64_t> stored_bytes{0};
+  codec::StreamCompressor stream(
+      wedge_codec, options, [&](codec::CompressedWedge&& cw) {
+        stored_bytes.fetch_add(cw.payload_bytes(), std::memory_order_relaxed);
+      });
+
+  // Producers: fixed aggregate rate split across the front-end threads.
   const double rate = args.get_double("rate");
   const double duration = args.get_double("seconds");
-  const auto interval =
-      std::chrono::duration<double>(rate > 0 ? 1.0 / rate : 0.0);
+  const int n_producers = std::max<int>(1, static_cast<int>(args.get_int("producers")));
+  const auto interval = std::chrono::duration<double>(
+      rate > 0 ? static_cast<double>(n_producers) / rate : 0.0);
   const auto t_end =
       std::chrono::steady_clock::now() + std::chrono::duration<double>(duration);
-  std::size_t next = 0;
-  std::int64_t offered = 0;
-  while (std::chrono::steady_clock::now() < t_end) {
-    (void)stream.try_submit(wedges[next]);
-    ++offered;
-    next = (next + 1) % wedges.size();
-    std::this_thread::sleep_for(interval);
+  std::atomic<std::int64_t> offered{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < n_producers; ++p) {
+    producers.emplace_back([&, p] {
+      std::size_t next = static_cast<std::size_t>(p) % wedges.size();
+      while (std::chrono::steady_clock::now() < t_end) {
+        (void)stream.try_submit(wedges[next]);
+        offered.fetch_add(1, std::memory_order_relaxed);
+        next = (next + static_cast<std::size_t>(n_producers)) % wedges.size();
+        std::this_thread::sleep_for(interval);
+      }
+    });
   }
+  for (auto& t : producers) t.join();
 
   const auto stats = stream.finish();
   const std::int64_t raw_bytes = stats.wedges_compressed *
                                  wedges.front().numel() * 2;  // fp16 accounting
-  std::printf("\nstream summary (%.1f s at %.0f wedges/s offered):\n", duration,
-              rate);
-  std::printf("  offered:     %lld wedges\n", static_cast<long long>(offered));
+  std::printf("\nstream summary (%.1f s at %.0f wedges/s offered, %d producer(s), "
+              "%zu worker(s)%s):\n",
+              duration, rate, n_producers, options.n_workers,
+              options.ordered ? ", ordered sink" : "");
+  std::printf("  offered:     %lld wedges\n",
+              static_cast<long long>(offered.load()));
   std::printf("  accepted:    %lld\n", static_cast<long long>(stats.wedges_in));
   std::printf("  dropped:     %lld (backpressure)\n",
               static_cast<long long>(stats.wedges_dropped));
+  std::printf("  failed:      %lld (codec errors)\n",
+              static_cast<long long>(stats.wedges_failed));
   std::printf("  compressed:  %lld (%.1f wedges/s sustained)\n",
               static_cast<long long>(stats.wedges_compressed),
               stats.throughput_wps());
+  // Bytes as the storage sink saw them; equals stats.payload_bytes.
+  const std::int64_t sunk_bytes = stored_bytes.load();
   std::printf("  data volume: %lld -> %lld bytes (%.2fx reduction)\n",
               static_cast<long long>(raw_bytes),
-              static_cast<long long>(stats.payload_bytes),
-              stats.payload_bytes
-                  ? static_cast<double>(raw_bytes) /
-                        static_cast<double>(stats.payload_bytes)
-                  : 0.0);
+              static_cast<long long>(sunk_bytes),
+              sunk_bytes ? static_cast<double>(raw_bytes) /
+                               static_cast<double>(sunk_bytes)
+                         : 0.0);
+  std::printf("  parallelism: %.2f busy-cores avg (cpu %.2fs / active %.2fs)\n",
+              stats.elapsed_s > 0 ? stats.cpu_s / stats.elapsed_s : 0.0,
+              stats.cpu_s, stats.elapsed_s);
+  for (std::size_t w = 0; w < stats.per_worker.size(); ++w) {
+    const auto& ws = stats.per_worker[w];
+    std::printf("  worker %zu:    %lld wedges in %lld batches, %.2fs active\n",
+                w, static_cast<long long>(ws.wedges_compressed),
+                static_cast<long long>(ws.batches), ws.active_s);
+  }
   return 0;
 }

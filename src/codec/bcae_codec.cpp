@@ -11,6 +11,22 @@ namespace nc::codec {
 namespace {
 constexpr char kKind[4] = {'C', 'W', 'D', 'G'};
 constexpr std::uint32_t kVersion = 1;
+
+// Plausibility caps for deserialization.  A full-scale wedge is (16, 192,
+// 249) and its code a few hundred kB; the caps leave orders of magnitude of
+// headroom while keeping corrupt headers from driving giant allocations or
+// overflowing the element-count arithmetic.
+constexpr std::int64_t kMaxDim = std::int64_t{1} << 20;
+constexpr std::int64_t kMaxCodeElems = std::int64_t{1} << 28;  // 512 MiB of fp16
+
+std::int64_t read_checked_dim(std::istream& is, const char* what) {
+  const std::int64_t d = util::read_i64(is);
+  if (d <= 0 || d > kMaxDim) {
+    throw util::SerializeError(std::string(what) + " dim implausible: " +
+                               std::to_string(d));
+  }
+  return d;
+}
 }  // namespace
 
 void CompressedWedge::serialize(std::ostream& os) const {
@@ -27,15 +43,24 @@ void CompressedWedge::serialize(std::ostream& os) const {
 CompressedWedge CompressedWedge::deserialize(std::istream& is) {
   util::read_magic(is, kKind);
   CompressedWedge out;
-  out.wedge_shape.radial = util::read_i64(is);
-  out.wedge_shape.azim = util::read_i64(is);
-  out.wedge_shape.horiz = util::read_i64(is);
+  out.wedge_shape.radial = read_checked_dim(is, "wedge radial");
+  out.wedge_shape.azim = read_checked_dim(is, "wedge azim");
+  out.wedge_shape.horiz = read_checked_dim(is, "wedge horiz");
   const std::uint64_t rank = util::read_u64(is);
-  if (rank > 8) throw util::SerializeError("code rank implausible");
+  if (rank == 0 || rank > 8) throw util::SerializeError("code rank implausible");
   out.code_shape.resize(rank);
-  for (auto& d : out.code_shape) d = util::read_i64(is);
+  // Validate each dim and guard the product so corrupt shapes can neither
+  // overflow shape_numel nor sneak past the payload-size consistency check.
+  std::int64_t numel = 1;
+  for (auto& d : out.code_shape) {
+    d = read_checked_dim(is, "code shape");
+    if (numel > kMaxCodeElems / d) {
+      throw util::SerializeError("code element count implausible");
+    }
+    numel *= d;
+  }
   const std::uint64_t n = util::read_u64(is);
-  if (static_cast<std::int64_t>(n) != core::shape_numel(out.code_shape)) {
+  if (n != static_cast<std::uint64_t>(numel)) {
     throw util::SerializeError("code size inconsistent with shape");
   }
   out.code.resize(n);
@@ -72,13 +97,13 @@ core::Tensor BcaeCodec::to_padded_batch(
   return batch;
 }
 
-CompressedWedge BcaeCodec::compress(const core::Tensor& wedge) {
+CompressedWedge BcaeCodec::compress(const core::Tensor& wedge) const {
   auto batch = compress_batch({wedge});
   return std::move(batch.front());
 }
 
 std::vector<CompressedWedge> BcaeCodec::compress_batch(
-    const std::vector<core::Tensor>& wedges) {
+    const std::vector<core::Tensor>& wedges) const {
   if (wedges.empty()) return {};
   for (const auto& w : wedges) {
     if (w.ndim() != 3) {
@@ -105,7 +130,7 @@ std::vector<CompressedWedge> BcaeCodec::compress_batch(
   return out;
 }
 
-core::Tensor BcaeCodec::decompress(const CompressedWedge& compressed) {
+core::Tensor BcaeCodec::decompress(const CompressedWedge& compressed) const {
   // Widen the stored binary16 code and run both decoder heads.
   core::Shape batched = compressed.code_shape;
   batched.insert(batched.begin(), 1);

@@ -10,6 +10,11 @@
 /// Thread/precision notes: compression uses the encoder only (the real-time
 /// path); decompression runs both decoder heads and applies the mask —
 /// intended for offline analysis, exactly as the paper deploys it.
+/// `compress` / `compress_batch` are const and safe for concurrent callers
+/// sharing one codec: eval-mode forwards use per-thread scratch and the
+/// layers' derived-weight caches publish atomically (core/layer.hpp
+/// LazyCache).  Training on the borrowed model or invalidating its caches
+/// must not run concurrently with compression.
 #pragma once
 
 #include <cstdint>
@@ -49,14 +54,14 @@ class BcaeCodec {
             float threshold = bcae::kDefaultThreshold);
 
   /// Compress one unpadded wedge (radial, azim, horiz).
-  CompressedWedge compress(const core::Tensor& wedge);
+  CompressedWedge compress(const core::Tensor& wedge) const;
 
   /// Compress a batch of wedges in one encoder pass (higher throughput).
   std::vector<CompressedWedge> compress_batch(
-      const std::vector<core::Tensor>& wedges);
+      const std::vector<core::Tensor>& wedges) const;
 
   /// Decompress back to an unpadded wedge (radial, azim, horiz).
-  core::Tensor decompress(const CompressedWedge& compressed);
+  core::Tensor decompress(const CompressedWedge& compressed) const;
 
   bcae::BcaeModel& model() { return model_; }
   core::Mode mode() const { return mode_; }

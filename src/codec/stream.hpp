@@ -4,22 +4,45 @@
 /// Models the deployment the paper targets (§1): wedges arrive continuously
 /// from front-end electronics; a real-time compressor must keep up with the
 /// collision rate.  The pipeline is a bounded-queue producer/consumer:
-/// producers enqueue wedges (the "detector"), one compressor drains them in
-/// batches through the BCAE encoder, and compressed wedges are handed to a
-/// sink callback (the "storage").  Backpressure is explicit — if the
-/// compressor cannot keep up, `try_submit` fails and the drop is counted,
-/// which is exactly the operational metric a streaming DAQ cares about.
+/// producers enqueue wedges (the "detector"), a pool of `n_workers`
+/// compressor threads drains them in batches through the BCAE encoder, and
+/// compressed wedges are handed to a sink callback (the "storage").
+/// Backpressure is explicit — if the compressors cannot keep up,
+/// `try_submit` fails and the drop is counted, which is exactly the
+/// operational metric a streaming DAQ cares about.
+///
+/// Concurrency model:
+///  * Every accepted wedge gets a sequence number matching queue (FIFO)
+///    order; the sink receives it alongside the payload.
+///  * Unordered mode (default): workers invoke the sink as soon as a batch
+///    finishes, possibly concurrently — the sink must be thread-safe when
+///    `n_workers > 1`.
+///  * Ordered mode: compressed wedges pass through a reorder buffer and the
+///    sink sees strictly increasing sequence numbers; sink invocations are
+///    serialized, so the sink needs no internal locking.
+///  * `finish()` is idempotent (atomic exchange) and safe to call from any
+///    thread, including implicitly via the destructor after an explicit
+///    `finish()`.
+///
+/// Timing: per-worker `active_s` is thread-time spent compressing; the
+/// aggregate `elapsed_s` is the union of busy intervals (wall time during
+/// which at least one worker was compressing), so `throughput_wps()`
+/// reflects true parallel throughput rather than summed thread-time.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "codec/bcae_codec.hpp"
+#include "util/timer.hpp"
 
 namespace nc::codec {
 
@@ -73,6 +96,15 @@ class BoundedQueue {
     return n;
   }
 
+  /// Block until the queue has free space or is closed; false when closed.
+  /// Space is not reserved: a concurrent producer may claim it first, so
+  /// callers combine this with try_push in a retry loop.
+  bool wait_for_space() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_space_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
+    return !closed_;
+  }
+
   void close() {
     std::lock_guard<std::mutex> lock(mutex_);
     closed_ = true;
@@ -93,24 +125,49 @@ class BoundedQueue {
   bool closed_ = false;
 };
 
+/// Pipeline configuration knobs.
+struct StreamOptions {
+  std::size_t queue_capacity = 64;  ///< intake bound (backpressure threshold)
+  std::size_t batch_size = 8;      ///< wedges per encoder pass (Fig. 6)
+  std::size_t n_workers = 1;       ///< compressor threads draining the queue
+  bool ordered = false;            ///< reorder output to submission order
+};
+
+/// Per-worker accounting, reported in StreamStats::per_worker.
+struct WorkerStats {
+  std::int64_t wedges_compressed = 0;
+  std::int64_t batches = 0;
+  std::int64_t payload_bytes = 0;
+  double active_s = 0.0;  ///< thread-time spent in compress+sink
+};
+
 struct StreamStats {
   std::int64_t wedges_in = 0;        ///< accepted into the queue
   std::int64_t wedges_dropped = 0;   ///< lost: backpressure or submit after close
   std::int64_t wedges_compressed = 0;
+  std::int64_t wedges_failed = 0;    ///< accepted but lost to a codec error
   std::int64_t payload_bytes = 0;
-  double elapsed_s = 0.0;           ///< active compress+sink time (excludes queue-wait idle)
+  double elapsed_s = 0.0;  ///< wall time with >=1 worker busy (parallel active time)
+  double cpu_s = 0.0;      ///< summed per-worker active time
+  std::vector<WorkerStats> per_worker;
+
   double throughput_wps() const {
     return elapsed_s > 0 ? wedges_compressed / elapsed_s : 0.0;
   }
 };
 
-/// Single-compressor streaming pipeline.  The compressor thread drains the
+/// Multi-worker streaming pipeline: `n_workers` compressor threads drain the
 /// input queue in batches of `batch_size` (batching is what buys encoder
-/// throughput, Fig. 6) and invokes `sink` for every compressed wedge.
+/// throughput, Fig. 6) and hand every compressed wedge to the sink.
 class StreamCompressor {
  public:
   using Sink = std::function<void(CompressedWedge&&)>;
+  /// Sink receiving the wedge's submission sequence number.
+  using SeqSink = std::function<void(std::uint64_t, CompressedWedge&&)>;
 
+  StreamCompressor(BcaeCodec& codec, const StreamOptions& options, SeqSink sink);
+  StreamCompressor(BcaeCodec& codec, const StreamOptions& options, Sink sink);
+  /// Legacy single-worker construction (unordered).
   StreamCompressor(BcaeCodec& codec, std::size_t queue_capacity,
                    std::size_t batch_size, Sink sink);
   ~StreamCompressor();
@@ -123,20 +180,58 @@ class StreamCompressor {
   /// Blocking submit (test/offline use).
   void submit(core::Tensor wedge);
 
-  /// Close the intake, drain the queue, join the worker and return totals.
+  /// Close the intake, drain the queue, join the workers and return totals
+  /// plus the per-worker breakdown.  Idempotent: later calls return the same
+  /// compression totals with up-to-date intake/drop counters.
   StreamStats finish();
 
+  const StreamOptions& options() const { return options_; }
+
  private:
-  void worker_loop();
+  /// A queued wedge tagged with its FIFO sequence number.
+  struct Item {
+    std::uint64_t seq = 0;
+    core::Tensor wedge;
+  };
+
+  void worker_loop(std::size_t worker_index);
+  void emit_batch(const std::vector<std::uint64_t>& seqs,
+                  std::vector<CompressedWedge>&& compressed);
+  void skip_seqs(const std::vector<std::uint64_t>& seqs);
+  void drain_reorder_locked();  ///< caller holds reorder_mutex_
+  void enter_busy();
+  void exit_busy();
 
   BcaeCodec& codec_;
-  std::size_t batch_size_;
-  Sink sink_;
-  BoundedQueue<core::Tensor> queue_;
-  std::thread worker_;
-  std::mutex stats_mutex_;
-  StreamStats stats_;
-  bool finished_ = false;
+  StreamOptions options_;
+  SeqSink sink_;
+  BoundedQueue<Item> queue_;
+
+  // Intake: the mutex makes sequence numbers match queue FIFO order.
+  std::mutex submit_mutex_;
+  std::uint64_t next_seq_ = 0;
+  std::atomic<std::int64_t> wedges_in_{0};
+  std::atomic<std::int64_t> wedges_dropped_{0};
+  std::atomic<std::int64_t> wedges_failed_{0};
+
+  // Busy-interval union: a clock that runs while >=1 worker is compressing.
+  std::mutex busy_mutex_;
+  int busy_workers_ = 0;
+  util::Timer busy_timer_;
+  double busy_s_ = 0.0;
+
+  // Ordered-sink reorder buffer.  nullopt marks a failed wedge whose
+  // sequence number must still advance the emit cursor.
+  std::mutex reorder_mutex_;
+  std::map<std::uint64_t, std::optional<CompressedWedge>> reorder_;
+  std::uint64_t next_emit_ = 0;
+
+  std::vector<WorkerStats> worker_stats_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<bool> finished_{false};
+  std::mutex finish_mutex_;
+  StreamStats merged_;  ///< worker totals, filled once on first finish()
 };
 
 }  // namespace nc::codec

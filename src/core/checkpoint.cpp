@@ -10,6 +10,12 @@ namespace nc::core {
 namespace {
 constexpr char kKind[4] = {'C', 'K', 'P', 'T'};
 constexpr std::uint32_t kVersion = 1;
+
+// A corrupt file must fail with SerializeError before any allocation, not
+// with bad_alloc (or silent overflow) inside std::vector.  The largest BCAE
+// parameter is a few MB; 2^28 floats (1 GiB) is far beyond any real model
+// while still small enough that the guarded allocation cannot itself OOM.
+constexpr std::int64_t kMaxTensorElems = std::int64_t{1} << 28;
 }  // namespace
 
 void save_checkpoint(std::ostream& os, const std::vector<Param*>& params) {
@@ -45,6 +51,14 @@ void load_checkpoint(std::istream& is, const std::vector<Param*>& params) {
     std::int64_t numel = 1;
     for (auto& d : shape) {
       d = util::read_i64(is);
+      if (d < 0) {
+        throw util::SerializeError("checkpoint dim negative for " + name +
+                                   ": " + std::to_string(d));
+      }
+      if (d > 0 && numel > kMaxTensorElems / d) {
+        throw util::SerializeError("checkpoint tensor implausibly large for " +
+                                   name);
+      }
       numel *= d;
     }
     std::vector<float> data(static_cast<std::size_t>(numel));

@@ -124,15 +124,16 @@ Tensor Conv2d::forward(const Tensor& x, Mode mode) {
   if (mode == Mode::kTrain) cached_input_ = x;
 
   const bool half_mode = (mode == Mode::kEvalHalf);
-  if (half_mode && !half_ready_) {
-    weight_half_ = HalfTensor::from_float(weight_.value);
-    half_ready_ = true;
-  }
+  const HalfTensor* whalf =
+      half_mode ? &weight_half_.get(
+                      [&] { return HalfTensor::from_float(weight_.value); })
+                : nullptr;
   const bool int8_mode = (mode == Mode::kEvalInt8);
-  if (int8_mode && !int8_ready_) {
-    weight_q_ = quantize_rows(weight_.value.data(), out_c_, rows);
-    int8_ready_ = true;
-  }
+  const QuantizedRows* wq =
+      int8_mode ? &weight_q_.get([&] {
+        return quantize_rows(weight_.value.data(), out_c_, rows);
+      })
+                : nullptr;
 
   const float* bias = bias_ ? bias_->value.data() : nullptr;
   const bool prof = Profiler::instance().enabled();
@@ -156,7 +157,7 @@ Tensor Conv2d::forward(const Tensor& x, Mode mode) {
           auto& colbuf = f16_scratch();
           colbuf.resize(static_cast<std::size_t>(rows * cols));
           im2col_2d(inh.data(), g, colbuf.data());
-          hgemm(out_c_, cols, rows, weight_half_.data(), rows, colbuf.data(),
+          hgemm(out_c_, cols, rows, whalf->data(), rows, colbuf.data(),
                 cols, out_s, cols);
         } else if (int8_mode) {
           auto& colbuf = f32_scratch();
@@ -165,8 +166,8 @@ Tensor Conv2d::forward(const Tensor& x, Mode mode) {
           auto& q = i8_scratch();
           q.resize(static_cast<std::size_t>(rows * cols));
           const float act_scale = quantize_tensor(colbuf.data(), rows * cols, q.data());
-          qgemm(out_c_, cols, rows, weight_q_.values.data(),
-                weight_q_.scales.data(), q.data(), act_scale, out_s, cols);
+          qgemm(out_c_, cols, rows, wq->values.data(),
+                wq->scales.data(), q.data(), act_scale, out_s, cols);
         } else if (is_1x1) {
           sgemm(false, false, out_c_, cols, rows, 1.f, weight_.value.data(),
                 rows, in_s, cols, 0.f, out_s, cols);
@@ -283,15 +284,16 @@ Tensor Conv3d::forward(const Tensor& x, Mode mode) {
   if (mode == Mode::kTrain) cached_input_ = x;
 
   const bool half_mode = (mode == Mode::kEvalHalf);
-  if (half_mode && !half_ready_) {
-    weight_half_ = HalfTensor::from_float(weight_.value);
-    half_ready_ = true;
-  }
+  const HalfTensor* whalf =
+      half_mode ? &weight_half_.get(
+                      [&] { return HalfTensor::from_float(weight_.value); })
+                : nullptr;
   const bool int8_mode = (mode == Mode::kEvalInt8);
-  if (int8_mode && !int8_ready_) {
-    weight_q_ = quantize_rows(weight_.value.data(), out_c_, rows);
-    int8_ready_ = true;
-  }
+  const QuantizedRows* wq =
+      int8_mode ? &weight_q_.get([&] {
+        return quantize_rows(weight_.value.data(), out_c_, rows);
+      })
+                : nullptr;
 
   const float* bias = bias_ ? bias_->value.data() : nullptr;
   const bool prof = Profiler::instance().enabled();
@@ -314,7 +316,7 @@ Tensor Conv3d::forward(const Tensor& x, Mode mode) {
           auto& colbuf = f16_scratch();
           colbuf.resize(static_cast<std::size_t>(rows * cols));
           vol2col_3d(inh.data(), g, colbuf.data());
-          hgemm(out_c_, cols, rows, weight_half_.data(), rows, colbuf.data(),
+          hgemm(out_c_, cols, rows, whalf->data(), rows, colbuf.data(),
                 cols, out_s, cols);
         } else if (int8_mode) {
           auto& colbuf = f32_scratch();
@@ -323,8 +325,8 @@ Tensor Conv3d::forward(const Tensor& x, Mode mode) {
           auto& q = i8_scratch();
           q.resize(static_cast<std::size_t>(rows * cols));
           const float act_scale = quantize_tensor(colbuf.data(), rows * cols, q.data());
-          qgemm(out_c_, cols, rows, weight_q_.values.data(),
-                weight_q_.scales.data(), q.data(), act_scale, out_s, cols);
+          qgemm(out_c_, cols, rows, wq->values.data(),
+                wq->scales.data(), q.data(), act_scale, out_s, cols);
         } else if (is_1x1) {
           sgemm(false, false, out_c_, cols, rows, 1.f, weight_.value.data(),
                 rows, in_s, cols, 0.f, out_s, cols);
@@ -444,18 +446,19 @@ Tensor ConvTranspose2d::forward(const Tensor& x, Mode mode) {
   // Transposed convolutions run on the offline decompression path; int8
   // mode falls back to full precision here.
   const bool half_mode = (mode == Mode::kEvalHalf);
-  if (half_mode && !half_ready_) {
-    // Pack Wᵀ as (out_c*kh*kw, in_c) so the half GEMM needs no transpose.
-    HalfTensor wt(Shape{rows, in_c_});
-    const float* w = weight_.value.data();
-    for (std::int64_t i = 0; i < in_c_; ++i) {
-      for (std::int64_t r = 0; r < rows; ++r) {
-        wt.data()[r * in_c_ + i] = util::half(w[i * rows + r]);
-      }
-    }
-    weight_t_half_ = std::move(wt);
-    half_ready_ = true;
-  }
+  const HalfTensor* whalf =
+      half_mode ? &weight_t_half_.get([&] {
+        // Pack Wᵀ as (out_c*kh*kw, in_c) so the half GEMM needs no transpose.
+        HalfTensor wt(Shape{rows, in_c_});
+        const float* w = weight_.value.data();
+        for (std::int64_t i = 0; i < in_c_; ++i) {
+          for (std::int64_t r = 0; r < rows; ++r) {
+            wt.data()[r * in_c_ + i] = util::half(w[i * rows + r]);
+          }
+        }
+        return wt;
+      })
+                : nullptr;
 
   const float* bias = bias_ ? bias_->value.data() : nullptr;
   const bool prof = Profiler::instance().enabled();
@@ -474,7 +477,7 @@ Tensor ConvTranspose2d::forward(const Tensor& x, Mode mode) {
           auto& xh = f16_scratch();
           xh.resize(static_cast<std::size_t>(in_c_ * cols));
           util::float_to_half_n(x_s, xh.data(), in_c_ * cols);
-          hgemm(rows, cols, in_c_, weight_t_half_.data(), in_c_, xh.data(),
+          hgemm(rows, cols, in_c_, whalf->data(), in_c_, xh.data(),
                 cols, gcol.data(), cols);
         } else {
           sgemm(true, false, rows, cols, in_c_, 1.f, weight_.value.data(),
@@ -596,17 +599,18 @@ Tensor ConvTranspose3d::forward(const Tensor& x, Mode mode) {
   if (mode == Mode::kTrain) cached_input_ = x;
 
   const bool half_mode = (mode == Mode::kEvalHalf);
-  if (half_mode && !half_ready_) {
-    HalfTensor wt(Shape{rows, in_c_});
-    const float* w = weight_.value.data();
-    for (std::int64_t i = 0; i < in_c_; ++i) {
-      for (std::int64_t r = 0; r < rows; ++r) {
-        wt.data()[r * in_c_ + i] = util::half(w[i * rows + r]);
-      }
-    }
-    weight_t_half_ = std::move(wt);
-    half_ready_ = true;
-  }
+  const HalfTensor* whalf =
+      half_mode ? &weight_t_half_.get([&] {
+        HalfTensor wt(Shape{rows, in_c_});
+        const float* w = weight_.value.data();
+        for (std::int64_t i = 0; i < in_c_; ++i) {
+          for (std::int64_t r = 0; r < rows; ++r) {
+            wt.data()[r * in_c_ + i] = util::half(w[i * rows + r]);
+          }
+        }
+        return wt;
+      })
+                : nullptr;
 
   const float* bias = bias_ ? bias_->value.data() : nullptr;
   const bool prof = Profiler::instance().enabled();
@@ -625,7 +629,7 @@ Tensor ConvTranspose3d::forward(const Tensor& x, Mode mode) {
           auto& xh = f16_scratch();
           xh.resize(static_cast<std::size_t>(in_c_ * cols));
           util::float_to_half_n(x_s, xh.data(), in_c_ * cols);
-          hgemm(rows, cols, in_c_, weight_t_half_.data(), in_c_, xh.data(),
+          hgemm(rows, cols, in_c_, whalf->data(), in_c_, xh.data(),
                 cols, gcol.data(), cols);
         } else {
           sgemm(true, false, rows, cols, in_c_, 1.f, weight_.value.data(),

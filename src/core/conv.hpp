@@ -12,6 +12,10 @@
 /// Half-precision inference keeps a cached binary16 copy of the weight in
 /// the orientation its GEMM consumes and lowers activations into a binary16
 /// column buffer, so the GEMM streams half the bytes of the fp32 path.
+/// Derived-weight caches (fp16 / int8) build lazily behind a LazyCache, so
+/// concurrent eval-mode forwards (the multi-worker streaming pipeline) are
+/// safe; only kTrain forwards and cache invalidation mutate layer state and
+/// must be externally serialized.
 ///
 /// Batch handling: training runs samples serially with parallel kernels
 /// (gradient accumulation stays race-free); eval runs samples in an OpenMP
@@ -42,8 +46,8 @@ class Conv2d final : public Layer {
   Tensor backward(const Tensor& gy) override;
   void collect_params(std::vector<Param*>& out) override;
   void invalidate_half_cache() override {
-    half_ready_ = false;
-    int8_ready_ = false;
+    weight_half_.invalidate();
+    weight_q_.invalidate();
   }
   std::string name() const override { return label_; }
 
@@ -62,10 +66,8 @@ class Conv2d final : public Layer {
   std::string label_;
 
   Tensor cached_input_;
-  HalfTensor weight_half_;
-  bool half_ready_ = false;
-  QuantizedRows weight_q_;
-  bool int8_ready_ = false;
+  LazyCache<HalfTensor> weight_half_;
+  LazyCache<QuantizedRows> weight_q_;
 };
 
 /// 3-D convolution over (N, C, D, H, W); D is the TPC radial dimension.
@@ -79,8 +81,8 @@ class Conv3d final : public Layer {
   Tensor backward(const Tensor& gy) override;
   void collect_params(std::vector<Param*>& out) override;
   void invalidate_half_cache() override {
-    half_ready_ = false;
-    int8_ready_ = false;
+    weight_half_.invalidate();
+    weight_q_.invalidate();
   }
   std::string name() const override { return label_; }
 
@@ -96,10 +98,8 @@ class Conv3d final : public Layer {
   std::string label_;
 
   Tensor cached_input_;
-  HalfTensor weight_half_;
-  bool half_ready_ = false;
-  QuantizedRows weight_q_;
-  bool int8_ready_ = false;
+  LazyCache<HalfTensor> weight_half_;
+  LazyCache<QuantizedRows> weight_q_;
 };
 
 /// 2-D transposed convolution (a.k.a. deconvolution) over (N, C, H, W).
@@ -115,7 +115,7 @@ class ConvTranspose2d final : public Layer {
   Tensor forward(const Tensor& x, Mode mode) override;
   Tensor backward(const Tensor& gy) override;
   void collect_params(std::vector<Param*>& out) override;
-  void invalidate_half_cache() override { half_ready_ = false; }
+  void invalidate_half_cache() override { weight_t_half_.invalidate(); }
   std::string name() const override { return label_; }
 
  private:
@@ -129,8 +129,7 @@ class ConvTranspose2d final : public Layer {
   std::string label_;
 
   Tensor cached_input_;
-  HalfTensor weight_t_half_;  ///< transposed weight (out_c*kh*kw, in_c)
-  bool half_ready_ = false;
+  LazyCache<HalfTensor> weight_t_half_;  ///< transposed weight (out_c*kh*kw, in_c)
 };
 
 /// 3-D transposed convolution over (N, C, D, H, W).
@@ -145,7 +144,7 @@ class ConvTranspose3d final : public Layer {
   Tensor forward(const Tensor& x, Mode mode) override;
   Tensor backward(const Tensor& gy) override;
   void collect_params(std::vector<Param*>& out) override;
-  void invalidate_half_cache() override { half_ready_ = false; }
+  void invalidate_half_cache() override { weight_t_half_.invalidate(); }
   std::string name() const override { return label_; }
 
  private:
@@ -158,8 +157,7 @@ class ConvTranspose3d final : public Layer {
   std::string label_;
 
   Tensor cached_input_;
-  HalfTensor weight_t_half_;
-  bool half_ready_ = false;
+  LazyCache<HalfTensor> weight_t_half_;
 };
 
 }  // namespace nc::core

@@ -21,8 +21,10 @@
 ///               convolutions (offline decoder path) fall back to float32.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -31,6 +33,34 @@
 namespace nc::core {
 
 enum class Mode { kTrain, kEval, kEvalHalf, kEvalInt8 };
+
+/// Lazily-built derived weight cache (fp16 / int8 copies) that is safe to
+/// initialize from concurrent eval-mode forwards: the double-checked build
+/// runs exactly once and later readers see a fully published value.
+/// `invalidate()` must be externally synchronized with forwards (it is
+/// called between optimizer steps, never during concurrent inference).
+template <typename T>
+class LazyCache {
+ public:
+  template <typename Build>
+  const T& get(Build&& build) {
+    if (!ready_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!ready_.load(std::memory_order_relaxed)) {
+        value_ = build();
+        ready_.store(true, std::memory_order_release);
+      }
+    }
+    return value_;
+  }
+
+  void invalidate() { ready_.store(false, std::memory_order_release); }
+
+ private:
+  T value_;
+  std::atomic<bool> ready_{false};
+  std::mutex mutex_;
+};
 
 /// A learnable tensor plus its gradient accumulator.
 struct Param {

@@ -11,6 +11,7 @@
 /// measurement window.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -49,7 +50,9 @@ class Profiler {
 
  private:
   Profiler() = default;
-  bool enabled_ = false;
+  // Atomic: read on every conv forward, possibly from concurrent eval
+  // threads while another toggles a measurement window.
+  std::atomic<bool> enabled_{false};
   mutable std::mutex mutex_;
   std::map<std::string, ProfileEntry> entries_;
 };

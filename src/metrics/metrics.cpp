@@ -1,6 +1,7 @@
 #include "metrics/metrics.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "core/ops.hpp"
 

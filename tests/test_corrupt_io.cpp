@@ -1,0 +1,180 @@
+/// Corrupt-input hardening: malformed checkpoint files and CompressedWedge
+/// streams must fail with SerializeError — never bad_alloc, integer overflow
+/// or a crash.  Every stream here is hand-crafted with the serialize
+/// primitives so each corruption is exact and deterministic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "codec/bcae_codec.hpp"
+#include "core/checkpoint.hpp"
+#include "util/serialize.hpp"
+
+namespace {
+
+using nc::codec::CompressedWedge;
+using nc::util::SerializeError;
+
+constexpr char kCheckpointKind[4] = {'C', 'K', 'P', 'T'};
+constexpr char kWedgeKind[4] = {'C', 'W', 'D', 'G'};
+
+// -- checkpoint streams -------------------------------------------------------
+
+/// One-entry checkpoint whose tensor header declares `dims`, followed by
+/// `payload_floats` float32 values of payload.
+std::string checkpoint_bytes(const std::vector<std::int64_t>& dims,
+                             std::size_t payload_floats) {
+  std::ostringstream os;
+  nc::util::write_magic(os, kCheckpointKind, 1);
+  nc::util::write_u64(os, 1);
+  nc::util::write_string(os, "layer.weight");
+  nc::util::write_u64(os, dims.size());
+  for (const auto d : dims) nc::util::write_i64(os, d);
+  const std::vector<float> payload(payload_floats, 0.f);
+  nc::util::write_bytes(os, payload.data(), payload.size() * sizeof(float));
+  return os.str();
+}
+
+void expect_checkpoint_rejected(const std::string& bytes) {
+  std::istringstream is(bytes);
+  EXPECT_THROW(nc::core::load_checkpoint(is, std::vector<nc::core::Param*>{}),
+               SerializeError);
+}
+
+TEST(CorruptCheckpoint, NegativeDimRejected) {
+  expect_checkpoint_rejected(checkpoint_bytes({-4, 4}, 0));
+}
+
+TEST(CorruptCheckpoint, HugeDimRejectedBeforeAllocation) {
+  // 2^40 floats would be a 4 TiB vector; must throw, not bad_alloc.
+  expect_checkpoint_rejected(checkpoint_bytes({std::int64_t{1} << 40}, 0));
+}
+
+TEST(CorruptCheckpoint, OverflowingDimProductRejected) {
+  // Each dim passes a naive per-dim check but the product overflows int64
+  // (2^20^4 = 2^80); the guarded accumulation must catch it.
+  expect_checkpoint_rejected(checkpoint_bytes(
+      {1 << 20, 1 << 20, 1 << 20, 1 << 20}, 0));
+}
+
+TEST(CorruptCheckpoint, TruncatedPayloadRejected) {
+  // Header says 2x2 floats, stream holds only one.
+  expect_checkpoint_rejected(checkpoint_bytes({2, 2}, 1));
+}
+
+TEST(CorruptCheckpoint, WrongMagicRejected) {
+  std::ostringstream os;
+  nc::util::write_magic(os, kWedgeKind, 1);  // wedge magic in a checkpoint
+  std::istringstream is(os.str());
+  EXPECT_THROW(nc::core::load_checkpoint(is, std::vector<nc::core::Param*>{}),
+               SerializeError);
+}
+
+TEST(CorruptCheckpoint, ValidFileStillLoads) {
+  // The hardening must not reject well-formed input: round-trip a tensor.
+  nc::core::Param p("layer.weight", nc::core::Tensor({2, 2}));
+  for (std::int64_t i = 0; i < 4; ++i) p.value[i] = static_cast<float>(i);
+  std::stringstream buffer;
+  nc::core::save_checkpoint(buffer, {&p});
+  nc::core::Param q("layer.weight", nc::core::Tensor({2, 2}));
+  nc::core::load_checkpoint(buffer, {&q});
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(q.value[i], p.value[i]);
+}
+
+// -- CompressedWedge streams --------------------------------------------------
+
+/// Hand-crafted CompressedWedge stream with full control over every field.
+std::string wedge_bytes(std::int64_t radial, std::int64_t azim,
+                        std::int64_t horiz,
+                        const std::vector<std::int64_t>& code_dims,
+                        std::uint64_t declared_n, std::size_t payload_halfs) {
+  std::ostringstream os;
+  nc::util::write_magic(os, kWedgeKind, 1);
+  nc::util::write_i64(os, radial);
+  nc::util::write_i64(os, azim);
+  nc::util::write_i64(os, horiz);
+  nc::util::write_u64(os, code_dims.size());
+  for (const auto d : code_dims) nc::util::write_i64(os, d);
+  nc::util::write_u64(os, declared_n);
+  const std::vector<nc::util::half> payload(payload_halfs);
+  nc::util::write_bytes(os, payload.data(),
+                        payload.size() * sizeof(nc::util::half));
+  return os.str();
+}
+
+void expect_wedge_rejected(const std::string& bytes) {
+  std::istringstream is(bytes);
+  EXPECT_THROW(CompressedWedge::deserialize(is), SerializeError);
+}
+
+TEST(CorruptWedge, NegativeWedgeDimRejected) {
+  expect_wedge_rejected(wedge_bytes(-16, 32, 31, {32, 4, 4}, 512, 512));
+}
+
+TEST(CorruptWedge, ZeroWedgeDimRejected) {
+  expect_wedge_rejected(wedge_bytes(16, 0, 31, {32, 4, 4}, 512, 512));
+}
+
+TEST(CorruptWedge, NonPositiveCodeDimRejected) {
+  expect_wedge_rejected(wedge_bytes(16, 32, 31, {32, -4, 4}, 512, 512));
+}
+
+TEST(CorruptWedge, OverflowingCodeShapeRejected) {
+  // Before the guard, 2^20 * 2^20 * 2^20 * 2^20 wrapped modulo 2^64 and
+  // could be made to agree with a tiny declared payload.
+  expect_wedge_rejected(wedge_bytes(
+      16, 32, 31, {1 << 20, 1 << 20, 1 << 20, 1 << 20}, 0, 0));
+}
+
+TEST(CorruptWedge, CodeRankZeroRejected) {
+  expect_wedge_rejected(wedge_bytes(16, 32, 31, {}, 1, 1));
+}
+
+TEST(CorruptWedge, CodeRankImplausibleRejected) {
+  expect_wedge_rejected(wedge_bytes(
+      16, 32, 31, std::vector<std::int64_t>(9, 2), 512, 512));
+}
+
+TEST(CorruptWedge, SizeShapeMismatchRejected) {
+  expect_wedge_rejected(wedge_bytes(16, 32, 31, {32, 4, 4}, 100, 100));
+}
+
+TEST(CorruptWedge, TruncatedPayloadRejected) {
+  expect_wedge_rejected(wedge_bytes(16, 32, 31, {32, 4, 4}, 512, 100));
+}
+
+TEST(CorruptWedge, TruncatedHeaderRejected) {
+  const std::string full = wedge_bytes(16, 32, 31, {32, 4, 4}, 512, 512);
+  std::istringstream is(full.substr(0, 20));  // cut inside the wedge shape
+  EXPECT_THROW(CompressedWedge::deserialize(is), SerializeError);
+}
+
+TEST(CorruptWedge, WrongMagicRejected) {
+  std::ostringstream os;
+  nc::util::write_magic(os, kCheckpointKind, 1);
+  std::istringstream is(os.str());
+  EXPECT_THROW(CompressedWedge::deserialize(is), SerializeError);
+}
+
+TEST(CorruptWedge, ValidStreamStillRoundTrips) {
+  CompressedWedge cw;
+  cw.wedge_shape = nc::tpc::WedgeShape{4, 8, 7};
+  cw.code_shape = {2, 2, 2};
+  cw.code.resize(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    cw.code[i] = nc::util::half(static_cast<float>(i));
+  }
+  std::stringstream buffer;
+  cw.serialize(buffer);
+  const auto back = CompressedWedge::deserialize(buffer);
+  EXPECT_EQ(back.wedge_shape, cw.wedge_shape);
+  EXPECT_EQ(back.code_shape, cw.code_shape);
+  ASSERT_EQ(back.code.size(), cw.code.size());
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(back.code[i].bits(), cw.code[i].bits());
+  }
+}
+
+}  // namespace
