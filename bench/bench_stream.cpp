@@ -1,17 +1,24 @@
 /// \file bench_stream.cpp
-/// \brief Worker-count scaling sweep for the streaming pipeline.
+/// \brief Worker-count scaling sweep for both streaming directions.
 ///
-/// Measures wedges/s through StreamCompressor as n_workers grows from 1 to
-/// the hardware concurrency, with OpenMP pinned to one thread per worker so
-/// the only parallelism under test is the worker pool itself.  The speedup
-/// column is what the multi-worker refactor claims: on a machine with >= 4
-/// cores, 4 workers should deliver well over 1.5x the single-worker rate.
+/// Measures wedges/s through StreamCompressor (encode) and
+/// StreamDecompressor (decode, the offline-analysis side) as n_workers grows
+/// from 1 to the hardware concurrency, with OpenMP pinned to one thread per
+/// worker so the only parallelism under test is the worker pool itself.  The
+/// speedup column is what the shared StreamPipeline claims: on a machine
+/// with >= 4 cores, 4 workers should deliver well over 1.5x the
+/// single-worker rate in either direction.
+///
+/// The final stdout line is a single machine-readable JSON document
+/// (wedges/s per worker count, both directions) so perf trajectories can be
+/// tracked across commits by scraping `grep '^{'` from the output.
 ///
 /// Run:  ./bench_stream [--wedges 64] [--batch 4] [--max-workers 0]
 ///       (--max-workers 0 = sweep up to hardware_concurrency, min 4)
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -21,11 +28,43 @@
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
+namespace {
+
+struct SweepPoint {
+  std::size_t workers = 0;
+  double wall_s = 0.0;
+  double wps = 0.0;
+  double speedup = 0.0;
+  double cpu_per_wall = 0.0;
+};
+
+void print_point(const SweepPoint& p) {
+  std::printf("  %-8zu %12.3f %12.1f %9.2fx %10.2f\n", p.workers, p.wall_s,
+              p.wps, p.speedup, p.cpu_per_wall);
+}
+
+std::string json_points(const std::vector<SweepPoint>& points) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"workers\":%zu,\"wall_s\":%.4f,\"wps\":%.2f,"
+                  "\"speedup\":%.3f,\"cpu_per_wall\":%.3f}",
+                  i ? "," : "", points[i].workers, points[i].wall_s,
+                  points[i].wps, points[i].speedup, points[i].cpu_per_wall);
+    out += buf;
+  }
+  return out + "]";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace nc;
-  util::ArgParser args("bench_stream", "StreamCompressor worker scaling sweep");
+  util::ArgParser args("bench_stream",
+                       "StreamCompressor/StreamDecompressor worker scaling sweep");
   args.add_option("wedges", "64", "wedges pushed through the pipeline per run");
-  args.add_option("batch", "4", "compressor batch size");
+  args.add_option("batch", "4", "codec batch size");
   args.add_option("max-workers", "0",
                   "sweep ceiling (0 = hardware_concurrency, min 4)");
   if (!args.parse(argc, argv)) return 1;
@@ -42,8 +81,13 @@ int main(int argc, char** argv) {
 
   auto model = bcae::make_bcae_2d(bcae::Bcae2dConfig{}, 7);
   codec::BcaeCodec wedge_codec(model, core::Mode::kEvalHalf);
-  // Warm the fp16 weight caches so the sweep times steady-state compression.
-  (void)wedge_codec.compress(wedges.front());
+  // Warm the fp16 weight caches (encoder and both decoder heads) so the
+  // sweeps time steady-state throughput.
+  (void)wedge_codec.decompress(wedge_codec.compress(wedges.front()));
+
+  // The decode sweep replays pre-compressed wedges: storage -> analysis.
+  std::vector<codec::CompressedWedge> stored;
+  for (const auto& w : wedges) stored.push_back(wedge_codec.compress(w));
 
   // One OpenMP thread per worker: scaling must come from the worker pool,
   // not from intra-batch OpenMP fan-out fighting it for cores.
@@ -57,52 +101,91 @@ int main(int argc, char** argv) {
   const std::size_t batch =
       static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("batch")));
 
-  std::printf("bench_stream: %lld wedges of %s, batch %lld, hardware threads %u\n\n",
+  std::printf("bench_stream: %lld wedges of %s, batch %lld, hardware threads %u\n",
               static_cast<long long>(n_wedges),
               dataset.wedge_shape().to_string().c_str(),
               static_cast<long long>(batch), hw);
-  std::printf("  %-8s %12s %12s %10s %10s\n", "workers", "wall [s]", "wps",
-              "speedup", "cpu/wall");
 
   std::vector<std::size_t> sweep;
   for (std::size_t w = 1; w <= max_workers; w *= 2) sweep.push_back(w);
   if (sweep.back() != max_workers) sweep.push_back(max_workers);
 
-  double base_wps = 0.0;
-  for (const std::size_t n_workers : sweep) {
-    codec::StreamOptions opt;
-    opt.queue_capacity = std::max<std::size_t>(64, 4 * n_workers);
-    opt.batch_size = batch;
-    opt.n_workers = n_workers;
-    // The unordered sink runs concurrently across workers: tally atomically.
-    std::atomic<std::int64_t> bytes{0};
-    util::Timer wall;
-    codec::StreamCompressor stream(
-        wedge_codec, opt, [&bytes](codec::CompressedWedge&& cw) {
-          bytes.fetch_add(cw.payload_bytes(), std::memory_order_relaxed);
-        });
-    for (std::int64_t i = 0; i < n_wedges; ++i) {
-      stream.submit(wedges[static_cast<std::size_t>(i) % wedges.size()]);
+  // One run of either direction at a given worker count; returns the wall
+  // time and the pipeline stats for the derived columns.
+  const auto run_sweep = [&](const char* label,
+                             auto&& run_one) -> std::vector<SweepPoint> {
+    std::printf("\n%s direction:\n", label);
+    std::printf("  %-8s %12s %12s %10s %10s\n", "workers", "wall [s]", "wps",
+                "speedup", "cpu/wall");
+    std::vector<SweepPoint> points;
+    double base_wps = 0.0;
+    for (const std::size_t n_workers : sweep) {
+      codec::StreamOptions opt;
+      opt.queue_capacity = std::max<std::size_t>(64, 4 * n_workers);
+      opt.batch_size = batch;
+      opt.n_workers = n_workers;
+      util::Timer wall;
+      const codec::StreamStats stats = run_one(opt);
+      const double wall_s = wall.elapsed_s();
+      SweepPoint p;
+      p.workers = n_workers;
+      p.wall_s = wall_s;
+      p.wps = wall_s > 0
+                  ? static_cast<double>(stats.wedges_compressed) / wall_s
+                  : 0.0;
+      if (n_workers == 1) base_wps = p.wps;
+      p.speedup = base_wps > 0 ? p.wps / base_wps : 0.0;
+      p.cpu_per_wall = stats.elapsed_s > 0 ? stats.cpu_s / stats.elapsed_s : 0.0;
+      print_point(p);
+      points.push_back(p);
+      if (stats.wedges_compressed != n_wedges) {
+        std::fprintf(stderr, "ERROR: %s processed %lld of %lld wedges\n",
+                     label, static_cast<long long>(stats.wedges_compressed),
+                     static_cast<long long>(n_wedges));
+        std::exit(1);
+      }
     }
-    const auto stats = stream.finish();
-    const double wall_s = wall.elapsed_s();
-    const double wps = wall_s > 0 ? static_cast<double>(stats.wedges_compressed) / wall_s : 0.0;
-    if (n_workers == 1) base_wps = wps;
-    std::printf("  %-8zu %12.3f %12.1f %9.2fx %10.2f\n", n_workers, wall_s, wps,
-                base_wps > 0 ? wps / base_wps : 0.0,
-                stats.elapsed_s > 0 ? stats.cpu_s / stats.elapsed_s : 0.0);
-    if (stats.wedges_compressed != n_wedges) {
-      std::fprintf(stderr, "ERROR: compressed %lld of %lld wedges\n",
-                   static_cast<long long>(stats.wedges_compressed),
-                   static_cast<long long>(n_wedges));
-      return 1;
-    }
-  }
+    return points;
+  };
+
+  const auto compress_points =
+      run_sweep("compress", [&](const codec::StreamOptions& opt) {
+        // The unordered sink runs concurrently across workers: tally atomically.
+        std::atomic<std::int64_t> bytes{0};
+        codec::StreamCompressor stream(
+            wedge_codec, opt, [&bytes](codec::CompressedWedge&& cw) {
+              bytes.fetch_add(cw.payload_bytes(), std::memory_order_relaxed);
+            });
+        for (std::int64_t i = 0; i < n_wedges; ++i) {
+          stream.submit(wedges[static_cast<std::size_t>(i) % wedges.size()]);
+        }
+        return stream.finish();
+      });
+
+  const auto decompress_points =
+      run_sweep("decompress", [&](const codec::StreamOptions& opt) {
+        std::atomic<std::int64_t> voxels{0};
+        codec::StreamDecompressor stream(
+            wedge_codec, opt, [&voxels](core::Tensor&& w) {
+              voxels.fetch_add(w.numel(), std::memory_order_relaxed);
+            });
+        for (std::int64_t i = 0; i < n_wedges; ++i) {
+          stream.submit(stored[static_cast<std::size_t>(i) % stored.size()]);
+        }
+        return stream.finish();
+      });
 
   if (hw < 4) {
     std::printf("\nnote: only %u hardware thread(s) visible — worker scaling "
                 "needs >= 4 cores to show the expected >1.5x at 4 workers.\n",
                 hw);
   }
+
+  // Machine-readable trailer (single line, greppable with '^{').
+  std::printf("\n{\"bench\":\"stream\",\"wedges\":%lld,\"batch\":%lld,"
+              "\"hardware_threads\":%u,\"compress\":%s,\"decompress\":%s}\n",
+              static_cast<long long>(n_wedges), static_cast<long long>(batch),
+              hw, json_points(compress_points).c_str(),
+              json_points(decompress_points).c_str());
   return 0;
 }

@@ -41,7 +41,14 @@ void CompressedWedge::serialize(std::ostream& os) const {
 }
 
 CompressedWedge CompressedWedge::deserialize(std::istream& is) {
-  util::read_magic(is, kKind);
+  // Version-gate the payload parsing: a future format bump must fail loudly
+  // here, not be misparsed as v1 field soup.
+  const std::uint32_t version = util::read_magic(is, kKind);
+  if (version != kVersion) {
+    throw util::SerializeError("unsupported CompressedWedge version " +
+                               std::to_string(version) + " (expected " +
+                               std::to_string(kVersion) + ")");
+  }
   CompressedWedge out;
   out.wedge_shape.radial = read_checked_dim(is, "wedge radial");
   out.wedge_shape.azim = read_checked_dim(is, "wedge azim");
@@ -130,21 +137,105 @@ std::vector<CompressedWedge> BcaeCodec::compress_batch(
   return out;
 }
 
-core::Tensor BcaeCodec::decompress(const CompressedWedge& compressed) const {
-  // Widen the stored binary16 code and run both decoder heads.
-  core::Shape batched = compressed.code_shape;
-  batched.insert(batched.begin(), 1);
-  core::Tensor code(batched);
-  util::half_to_float_n(compressed.code.data(), code.data(), code.numel());
+namespace {
+// Validate a header against its payload before any decoding: a poisoned
+// wedge (hand-crafted or bit-rotted past the serializer checks) must throw,
+// never read out of bounds.
+void check_decodable(const CompressedWedge& cw) {
+  if (cw.code_shape.empty()) {
+    throw std::invalid_argument("decompress: empty code shape");
+  }
+  const std::int64_t numel = core::shape_numel(cw.code_shape);
+  if (numel <= 0 || static_cast<std::uint64_t>(numel) != cw.code.size()) {
+    throw std::invalid_argument("decompress: code size inconsistent with shape");
+  }
+  const auto& ws = cw.wedge_shape;
+  if (ws.radial <= 0 || ws.azim <= 0 || ws.horiz <= 0) {
+    throw std::invalid_argument("decompress: non-positive wedge dim");
+  }
+}
+}  // namespace
 
+core::Tensor BcaeCodec::decompress(const CompressedWedge& compressed) const {
+  check_decodable(compressed);
+  auto decoded = decode_group({&compressed});
+  return std::move(decoded.front());
+}
+
+std::vector<core::Tensor> BcaeCodec::decompress_batch(
+    const std::vector<CompressedWedge>& compressed) const {
+  for (const auto& cw : compressed) check_decodable(cw);
+  std::vector<core::Tensor> out(compressed.size());
+
+  // One padded decoder forward per (wedge_shape, code_shape) group: a
+  // homogeneous batch — the common streaming case — decodes in a single
+  // pass, mirroring compress_batch; mixed shapes fall back to one pass per
+  // group without losing input order.
+  std::vector<bool> done(compressed.size(), false);
+  std::vector<std::size_t> indices;
+  std::vector<const CompressedWedge*> group;
+  for (std::size_t i = 0; i < compressed.size(); ++i) {
+    if (done[i]) continue;
+    indices.clear();
+    group.clear();
+    for (std::size_t j = i; j < compressed.size(); ++j) {
+      if (!done[j] &&
+          compressed[j].wedge_shape == compressed[i].wedge_shape &&
+          compressed[j].code_shape == compressed[i].code_shape) {
+        indices.push_back(j);
+        group.push_back(&compressed[j]);
+      }
+    }
+    auto decoded = decode_group(group);
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      out[indices[k]] = std::move(decoded[k]);
+      done[indices[k]] = true;
+    }
+  }
+  return out;
+}
+
+std::vector<core::Tensor> BcaeCodec::decode_group(
+    const std::vector<const CompressedWedge*>& group) const {
+  const auto& first = *group.front();
+  const std::int64_t n = static_cast<std::int64_t>(group.size());
+  const std::int64_t code_numel = core::shape_numel(first.code_shape);
+  core::Shape batched = first.code_shape;
+  batched.insert(batched.begin(), n);
+
+  // Widen the stored binary16 codes and run both decoder heads once.
+  core::Tensor code(batched);
+  for (std::int64_t k = 0; k < n; ++k) {
+    util::half_to_float_n(group[static_cast<std::size_t>(k)]->code.data(),
+                          code.data() + k * code_numel, code_numel);
+  }
   const auto heads = model_.decode(code, mode_);
   const core::Tensor recon = bcae::BcaeModel::reconstruct(heads, threshold_);
 
   // Collapse the batch (and 3-D channel) dims, then clip the padding.
-  const auto& ws = compressed.wedge_shape;
-  const core::Tensor shaped =
-      recon.reshaped({ws.radial, ws.azim, recon.dim(recon.ndim() - 1)});
-  return tpc::clip_horizontal(shaped, ws.horiz);
+  const auto& ws = first.wedge_shape;
+  const std::int64_t ph = recon.dim(recon.ndim() - 1);
+  const std::int64_t stride = ws.radial * ws.azim * ph;
+  if (recon.numel() != n * stride || ws.horiz > ph) {
+    throw std::invalid_argument(
+        "decompress: decoder output inconsistent with wedge shape");
+  }
+  // Clip the horizontal padding while scattering each wedge out of the
+  // batched reconstruction: one row-wise copy straight from the decoder
+  // output, no padded intermediate tensor.
+  std::vector<core::Tensor> out;
+  out.reserve(group.size());
+  const std::int64_t rows = ws.radial * ws.azim;
+  for (std::int64_t k = 0; k < n; ++k) {
+    core::Tensor wedge({ws.radial, ws.azim, ws.horiz});
+    const float* src = recon.data() + k * stride;
+    float* dst = wedge.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      std::copy(src + r * ph, src + r * ph + ws.horiz, dst + r * ws.horiz);
+    }
+    out.push_back(std::move(wedge));
+  }
+  return out;
 }
 
 }  // namespace nc::codec

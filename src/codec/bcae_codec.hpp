@@ -10,11 +10,12 @@
 /// Thread/precision notes: compression uses the encoder only (the real-time
 /// path); decompression runs both decoder heads and applies the mask —
 /// intended for offline analysis, exactly as the paper deploys it.
-/// `compress` / `compress_batch` are const and safe for concurrent callers
-/// sharing one codec: eval-mode forwards use per-thread scratch and the
-/// layers' derived-weight caches publish atomically (core/layer.hpp
-/// LazyCache).  Training on the borrowed model or invalidating its caches
-/// must not run concurrently with compression.
+/// `compress` / `compress_batch` / `decompress` / `decompress_batch` are
+/// const and safe for concurrent callers sharing one codec: eval-mode
+/// forwards use per-thread scratch and the layers' derived-weight caches
+/// publish atomically (core/layer.hpp LazyCache).  Training on the borrowed
+/// model or invalidating its caches must not run concurrently with either
+/// direction.
 #pragma once
 
 #include <cstdint>
@@ -63,11 +64,21 @@ class BcaeCodec {
   /// Decompress back to an unpadded wedge (radial, azim, horiz).
   core::Tensor decompress(const CompressedWedge& compressed) const;
 
+  /// Decompress a batch in one padded decoder forward per shape group (one
+  /// pass for a homogeneous batch — the common streaming case — mirroring
+  /// compress_batch); outputs keep input order.  Throws std::invalid_argument
+  /// on a wedge whose header is inconsistent with its payload.
+  std::vector<core::Tensor> decompress_batch(
+      const std::vector<CompressedWedge>& compressed) const;
+
   bcae::BcaeModel& model() { return model_; }
   core::Mode mode() const { return mode_; }
 
  private:
   core::Tensor to_padded_batch(const std::vector<core::Tensor>& wedges) const;
+  /// Decode same-shaped wedges in one decoder forward (callers validated).
+  std::vector<core::Tensor> decode_group(
+      const std::vector<const CompressedWedge*>& group) const;
 
   bcae::BcaeModel& model_;
   core::Mode mode_;

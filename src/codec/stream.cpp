@@ -1,32 +1,37 @@
 #include "codec/stream.hpp"
 
-#include "util/logging.hpp"
-
 namespace nc::codec {
 
 namespace {
-// Zero sizes are nonsensical (capacity 0 would deadlock blocking submits);
-// clamp before the queue is constructed from them.
-StreamOptions normalized(StreamOptions options) {
-  if (options.queue_capacity == 0) options.queue_capacity = 1;
-  if (options.batch_size == 0) options.batch_size = 1;
-  if (options.n_workers == 0) options.n_workers = 1;
-  return options;
+
+StreamPipeline<core::Tensor, CompressedWedge>::BatchFn compress_fn(
+    BcaeCodec& codec) {
+  return [&codec](std::vector<core::Tensor>&& batch) {
+    return codec.compress_batch(batch);
+  };
 }
+
+StreamPipeline<CompressedWedge, core::Tensor>::BatchFn decompress_fn(
+    BcaeCodec& codec) {
+  return [&codec](std::vector<CompressedWedge>&& batch) {
+    return codec.decompress_batch(batch);
+  };
+}
+
+// Decoded-wedge volume with the paper's fp16 accounting (§3.1), mirroring
+// payload_bytes() on the compressed side so the two directions report
+// comparable byte totals.
+std::int64_t decoded_bytes(const core::Tensor& wedge) {
+  return wedge.numel() * 2;
+}
+
 }  // namespace
 
 StreamCompressor::StreamCompressor(BcaeCodec& codec,
                                    const StreamOptions& options, SeqSink sink)
-    : codec_(codec),
-      options_(normalized(options)),
-      sink_(std::move(sink)),
-      queue_(options_.queue_capacity) {
-  worker_stats_.resize(options_.n_workers);
-  workers_.reserve(options_.n_workers);
-  for (std::size_t w = 0; w < options_.n_workers; ++w) {
-    workers_.emplace_back([this, w] { worker_loop(w); });
-  }
-}
+    : pipeline_(options, compress_fn(codec),
+                [](const CompressedWedge& cw) { return cw.payload_bytes(); },
+                std::move(sink)) {}
 
 StreamCompressor::StreamCompressor(BcaeCodec& codec,
                                    const StreamOptions& options, Sink sink)
@@ -44,189 +49,18 @@ StreamCompressor::StreamCompressor(BcaeCodec& codec, std::size_t queue_capacity,
                         /*ordered=*/false},
           std::move(sink)) {}
 
-StreamCompressor::~StreamCompressor() { (void)finish(); }
+StreamDecompressor::StreamDecompressor(BcaeCodec& codec,
+                                       const StreamOptions& options,
+                                       SeqSink sink)
+    : pipeline_(options, decompress_fn(codec), decoded_bytes,
+                std::move(sink)) {}
 
-bool StreamCompressor::try_submit(core::Tensor wedge) {
-  // Counters update under the same lock as the push: a concurrent finish()
-  // snapshot must never see a compressed wedge missing from wedges_in.
-  std::lock_guard<std::mutex> lock(submit_mutex_);
-  const bool accepted = queue_.try_push(Item{next_seq_, std::move(wedge)});
-  if (accepted) {
-    // Sequence numbers are only consumed by accepted wedges, so the ordered
-    // sink never waits on a gap left by a dropped one.
-    ++next_seq_;
-    wedges_in_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    wedges_dropped_.fetch_add(1, std::memory_order_relaxed);
-  }
-  return accepted;
-}
-
-void StreamCompressor::submit(core::Tensor wedge) {
-  // Wait for space *outside* submit_mutex_: holding it across a blocking
-  // push would stall concurrent try_submit callers (the real-time path)
-  // behind an offline producer parked on a full queue.
-  while (true) {
-    {
-      std::lock_guard<std::mutex> lock(submit_mutex_);
-      if (queue_.try_push(Item{next_seq_, wedge})) {
-        ++next_seq_;
-        wedges_in_.fetch_add(1, std::memory_order_relaxed);
-        return;
-      }
-    }
-    if (!queue_.wait_for_space()) {
-      // Queue closed (submit after finish); the wedge is lost and must
-      // show up in the drop count.
-      wedges_dropped_.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
-  }
-}
-
-void StreamCompressor::enter_busy() {
-  std::lock_guard<std::mutex> lock(busy_mutex_);
-  if (busy_workers_++ == 0) busy_timer_.reset();
-}
-
-void StreamCompressor::exit_busy() {
-  std::lock_guard<std::mutex> lock(busy_mutex_);
-  if (--busy_workers_ == 0) busy_s_ += busy_timer_.elapsed_s();
-}
-
-void StreamCompressor::emit_batch(const std::vector<std::uint64_t>& seqs,
-                                  std::vector<CompressedWedge>&& compressed) {
-  if (!options_.ordered) {
-    for (std::size_t i = 0; i < compressed.size(); ++i) {
-      sink_(seqs[i], std::move(compressed[i]));
-    }
-    return;
-  }
-  std::lock_guard<std::mutex> lock(reorder_mutex_);
-  for (std::size_t i = 0; i < compressed.size(); ++i) {
-    reorder_.emplace(seqs[i], std::move(compressed[i]));
-  }
-  drain_reorder_locked();
-}
-
-void StreamCompressor::skip_seqs(const std::vector<std::uint64_t>& seqs) {
-  if (!options_.ordered) return;
-  std::lock_guard<std::mutex> lock(reorder_mutex_);
-  for (const auto seq : seqs) {
-    // Defensive: today callers only skip never-emitted batches, but a seq
-    // below the emit cursor would wedge the buffer on a key that can never
-    // match next_emit_ again, so keep the guard.
-    if (seq >= next_emit_) reorder_.emplace(seq, std::nullopt);
-  }
-  drain_reorder_locked();
-}
-
-void StreamCompressor::drain_reorder_locked() {
-  while (!reorder_.empty() && reorder_.begin()->first == next_emit_) {
-    auto node = reorder_.extract(reorder_.begin());
-    // Advance the cursor before invoking the sink: if the sink throws, that
-    // wedge is lost but the stream keeps flowing instead of stalling on a
-    // sequence number that was already extracted.
-    ++next_emit_;
-    if (node.mapped().has_value()) {
-      try {
-        sink_(node.key(), std::move(*node.mapped()));
-      } catch (const std::exception& e) {
-        // Swallow here: drain runs from worker catch handlers too (via
-        // skip_seqs), where a second throw would escape the thread and
-        // terminate the process.
-        NC_LOG_WARN << "ordered sink failed for wedge " << node.key() << ": "
-                    << e.what();
-      }
-    }
-  }
-}
-
-void StreamCompressor::worker_loop(std::size_t worker_index) {
-  WorkerStats& ws = worker_stats_[worker_index];
-  std::vector<Item> items;
-  std::vector<std::uint64_t> seqs;
-  std::vector<core::Tensor> batch;
-  items.reserve(options_.batch_size);
-  seqs.reserve(options_.batch_size);
-  batch.reserve(options_.batch_size);
-  while (true) {
-    items.clear();
-    seqs.clear();
-    batch.clear();
-    if (queue_.pop_batch(items, options_.batch_size) == 0) break;
-    for (auto& item : items) {
-      seqs.push_back(item.seq);
-      batch.push_back(std::move(item.wedge));
-    }
-    enter_busy();
-    // Time only the compress+sink work: counting from thread start would
-    // fold queue-wait idle into active time and deflate throughput_wps().
-    util::Timer timer;
-    std::vector<CompressedWedge> compressed;
-    bool codec_ok = true;
-    try {
-      compressed = codec_.compress_batch(batch);
-    } catch (const std::exception& e) {
-      // A poisoned batch must not kill the worker (a dead worker turns
-      // blocking submits into a deadlock) nor stall the ordered sink.
-      codec_ok = false;
-      NC_LOG_WARN << "stream worker " << worker_index << ": dropping batch of "
-                  << seqs.size() << " wedges: " << e.what();
-      wedges_failed_.fetch_add(static_cast<std::int64_t>(seqs.size()),
-                               std::memory_order_relaxed);
-      skip_seqs(seqs);
-    }
-    if (codec_ok) {
-      // The wedges are compressed whatever the sink does with them, so the
-      // stats update precedes emission; a sink failure is logged but does
-      // not land in wedges_failed (reserved for codec errors).
-      std::int64_t bytes = 0;
-      for (const auto& cw : compressed) bytes += cw.payload_bytes();
-      ws.wedges_compressed += static_cast<std::int64_t>(compressed.size());
-      ws.payload_bytes += bytes;
-      ++ws.batches;
-      try {
-        emit_batch(seqs, std::move(compressed));
-      } catch (const std::exception& e) {
-        // Only the unordered path throws here (the ordered drain swallows
-        // sink errors per wedge); the rest of this batch is lost downstream.
-        NC_LOG_WARN << "stream worker " << worker_index << ": sink error, "
-                    << seqs.size() << " compressed wedges may be lost "
-                    << "downstream: " << e.what();
-      }
-    }
-    ws.active_s += timer.elapsed_s();
-    exit_busy();
-  }
-}
-
-StreamStats StreamCompressor::finish() {
-  std::lock_guard<std::mutex> lock(finish_mutex_);
-  if (!finished_.exchange(true)) {
-    queue_.close();
-    for (auto& worker : workers_) {
-      if (worker.joinable()) worker.join();
-    }
-    merged_.per_worker = worker_stats_;
-    for (const auto& ws : worker_stats_) {
-      merged_.wedges_compressed += ws.wedges_compressed;
-      merged_.payload_bytes += ws.payload_bytes;
-      merged_.cpu_s += ws.active_s;
-    }
-    merged_.elapsed_s = busy_s_;  // workers joined: no interval still open
-  }
-  StreamStats out = merged_;
-  {
-    // Snapshot under submit_mutex_: a producer parked between making its
-    // wedge visible (try_push) and bumping wedges_in_ would otherwise let a
-    // concurrent finish() report wedges_compressed > wedges_in.
-    std::lock_guard<std::mutex> submit_lock(submit_mutex_);
-    out.wedges_in = wedges_in_.load(std::memory_order_relaxed);
-    out.wedges_dropped = wedges_dropped_.load(std::memory_order_relaxed);
-  }
-  out.wedges_failed = wedges_failed_.load(std::memory_order_relaxed);
-  return out;
-}
+StreamDecompressor::StreamDecompressor(BcaeCodec& codec,
+                                       const StreamOptions& options, Sink sink)
+    : StreamDecompressor(codec, options,
+                         SeqSink([s = std::move(sink)](std::uint64_t,
+                                                       core::Tensor&& wedge) {
+                           s(std::move(wedge));
+                         })) {}
 
 }  // namespace nc::codec

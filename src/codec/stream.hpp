@@ -1,164 +1,28 @@
 /// \file stream.hpp
-/// \brief DAQ-style streaming compression pipeline.
+/// \brief DAQ-style streaming codec stages: both sides of the deployment.
 ///
-/// Models the deployment the paper targets (§1): wedges arrive continuously
-/// from front-end electronics; a real-time compressor must keep up with the
-/// collision rate.  The pipeline is a bounded-queue producer/consumer:
-/// producers enqueue wedges (the "detector"), a pool of `n_workers`
-/// compressor threads drains them in batches through the BCAE encoder, and
-/// compressed wedges are handed to a sink callback (the "storage").
-/// Backpressure is explicit — if the compressors cannot keep up,
-/// `try_submit` fails and the drop is counted, which is exactly the
-/// operational metric a streaming DAQ cares about.
-///
-/// Concurrency model:
-///  * Every accepted wedge gets a sequence number matching queue (FIFO)
-///    order; the sink receives it alongside the payload.
-///  * Unordered mode (default): workers invoke the sink as soon as a batch
-///    finishes, possibly concurrently — the sink must be thread-safe when
-///    `n_workers > 1`.
-///  * Ordered mode: compressed wedges pass through a reorder buffer and the
-///    sink sees strictly increasing sequence numbers; sink invocations are
-///    serialized, so the sink needs no internal locking.
-///  * `finish()` is idempotent (atomic exchange) and safe to call from any
-///    thread, including implicitly via the destructor after an explicit
-///    `finish()`.
-///
-/// Timing: per-worker `active_s` is thread-time spent compressing; the
-/// aggregate `elapsed_s` is the union of busy intervals (wall time during
-/// which at least one worker was compressing), so `throughput_wps()`
-/// reflects true parallel throughput rather than summed thread-time.
+/// Models the two-sided deployment the paper targets (§1): wedges arrive
+/// continuously from front-end electronics and a real-time compressor must
+/// keep up with the collision rate (`StreamCompressor`); later, offline
+/// analysis streams the stored bitstreams back through the decoder heads
+/// (`StreamDecompressor`).  Both are thin adapters over the generic
+/// `StreamPipeline` worker pool (see stream_pipeline.hpp for the concurrency
+/// model: bounded-queue intake with explicit backpressure, batched
+/// transforms, sequence numbering, optional in-order emission, failure
+/// containment and idempotent finish()).
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
-#include <mutex>
-#include <optional>
-#include <thread>
-#include <vector>
 
 #include "codec/bcae_codec.hpp"
-#include "util/timer.hpp"
+#include "codec/stream_pipeline.hpp"
 
 namespace nc::codec {
 
-/// Thread-safe bounded FIFO.
-template <typename T>
-class BoundedQueue {
- public:
-  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
-
-  /// Non-blocking enqueue; false when the queue is full (backpressure).
-  bool try_push(T item) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (closed_ || queue_.size() >= capacity_) return false;
-    queue_.push_back(std::move(item));
-    cv_.notify_one();
-    return true;
-  }
-
-  /// Blocking enqueue; false only when the queue is closed.
-  bool push(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_space_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
-    if (closed_) return false;
-    queue_.push_back(std::move(item));
-    cv_.notify_one();
-    return true;
-  }
-
-  /// Blocking dequeue; false when the queue is closed and drained.
-  bool pop(T& out) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
-    if (queue_.empty()) return false;
-    out = std::move(queue_.front());
-    queue_.pop_front();
-    cv_space_.notify_one();
-    return true;
-  }
-
-  /// Dequeue up to `max_items` without blocking beyond the first element.
-  std::size_t pop_batch(std::vector<T>& out, std::size_t max_items) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
-    std::size_t n = 0;
-    while (n < max_items && !queue_.empty()) {
-      out.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-      ++n;
-    }
-    cv_space_.notify_all();
-    return n;
-  }
-
-  /// Block until the queue has free space or is closed; false when closed.
-  /// Space is not reserved: a concurrent producer may claim it first, so
-  /// callers combine this with try_push in a retry loop.
-  bool wait_for_space() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_space_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
-    return !closed_;
-  }
-
-  void close() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    closed_ = true;
-    cv_.notify_all();
-    cv_space_.notify_all();
-  }
-
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return queue_.size();
-  }
-
- private:
-  std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_, cv_space_;
-  std::deque<T> queue_;
-  bool closed_ = false;
-};
-
-/// Pipeline configuration knobs.
-struct StreamOptions {
-  std::size_t queue_capacity = 64;  ///< intake bound (backpressure threshold)
-  std::size_t batch_size = 8;      ///< wedges per encoder pass (Fig. 6)
-  std::size_t n_workers = 1;       ///< compressor threads draining the queue
-  bool ordered = false;            ///< reorder output to submission order
-};
-
-/// Per-worker accounting, reported in StreamStats::per_worker.
-struct WorkerStats {
-  std::int64_t wedges_compressed = 0;
-  std::int64_t batches = 0;
-  std::int64_t payload_bytes = 0;
-  double active_s = 0.0;  ///< thread-time spent in compress+sink
-};
-
-struct StreamStats {
-  std::int64_t wedges_in = 0;        ///< accepted into the queue
-  std::int64_t wedges_dropped = 0;   ///< lost: backpressure or submit after close
-  std::int64_t wedges_compressed = 0;
-  std::int64_t wedges_failed = 0;    ///< accepted but lost to a codec error
-  std::int64_t payload_bytes = 0;
-  double elapsed_s = 0.0;  ///< wall time with >=1 worker busy (parallel active time)
-  double cpu_s = 0.0;      ///< summed per-worker active time
-  std::vector<WorkerStats> per_worker;
-
-  double throughput_wps() const {
-    return elapsed_s > 0 ? wedges_compressed / elapsed_s : 0.0;
-  }
-};
-
-/// Multi-worker streaming pipeline: `n_workers` compressor threads drain the
-/// input queue in batches of `batch_size` (batching is what buys encoder
-/// throughput, Fig. 6) and hand every compressed wedge to the sink.
+/// Write side: raw wedges in, compressed wedges out through the BCAE
+/// encoder.  `n_workers` threads drain the queue in batches of `batch_size`
+/// (batching is what buys encoder throughput, Fig. 6).
 class StreamCompressor {
  public:
   using Sink = std::function<void(CompressedWedge&&)>;
@@ -170,68 +34,61 @@ class StreamCompressor {
   /// Legacy single-worker construction (unordered).
   StreamCompressor(BcaeCodec& codec, std::size_t queue_capacity,
                    std::size_t batch_size, Sink sink);
-  ~StreamCompressor();
 
   StreamCompressor(const StreamCompressor&) = delete;
   StreamCompressor& operator=(const StreamCompressor&) = delete;
 
   /// Non-blocking submit with backpressure accounting.
-  bool try_submit(core::Tensor wedge);
+  bool try_submit(core::Tensor wedge) { return pipeline_.try_submit(std::move(wedge)); }
   /// Blocking submit (test/offline use).
-  void submit(core::Tensor wedge);
+  void submit(core::Tensor wedge) { pipeline_.submit(std::move(wedge)); }
 
   /// Close the intake, drain the queue, join the workers and return totals
   /// plus the per-worker breakdown.  Idempotent: later calls return the same
   /// compression totals with up-to-date intake/drop counters.
-  StreamStats finish();
+  StreamStats finish() { return pipeline_.finish(); }
 
-  const StreamOptions& options() const { return options_; }
+  const StreamOptions& options() const { return pipeline_.options(); }
 
  private:
-  /// A queued wedge tagged with its FIFO sequence number.
-  struct Item {
-    std::uint64_t seq = 0;
-    core::Tensor wedge;
-  };
+  StreamPipeline<core::Tensor, CompressedWedge> pipeline_;
+};
 
-  void worker_loop(std::size_t worker_index);
-  void emit_batch(const std::vector<std::uint64_t>& seqs,
-                  std::vector<CompressedWedge>&& compressed);
-  void skip_seqs(const std::vector<std::uint64_t>& seqs);
-  void drain_reorder_locked();  ///< caller holds reorder_mutex_
-  void enter_busy();
-  void exit_busy();
+/// Read side: compressed wedges in, decoded tensors out through a batched
+/// decoder forward (`BcaeCodec::decompress_batch`) — the offline-analysis
+/// twin of `StreamCompressor`.  Stats vocabulary is shared with the write
+/// side: `wedges_compressed` counts decoded wedges and `payload_bytes` the
+/// fp16-accounted bytes of the reconstructed wedges (the volume handed to
+/// the analysis sink).  A wedge whose payload fails to decode (corrupt code
+/// shape, truncated payload) fails its whole batch into `wedges_failed` —
+/// the same wholesale containment as the write side — without killing its
+/// worker or stalling the ordered cursor; run corrupt-prone streams with
+/// `batch_size = 1` to contain the loss to the poisoned wedge.
+class StreamDecompressor {
+ public:
+  using Sink = std::function<void(core::Tensor&&)>;
+  /// Sink receiving the wedge's submission sequence number.
+  using SeqSink = std::function<void(std::uint64_t, core::Tensor&&)>;
 
-  BcaeCodec& codec_;
-  StreamOptions options_;
-  SeqSink sink_;
-  BoundedQueue<Item> queue_;
+  StreamDecompressor(BcaeCodec& codec, const StreamOptions& options, SeqSink sink);
+  StreamDecompressor(BcaeCodec& codec, const StreamOptions& options, Sink sink);
 
-  // Intake: the mutex makes sequence numbers match queue FIFO order.
-  std::mutex submit_mutex_;
-  std::uint64_t next_seq_ = 0;
-  std::atomic<std::int64_t> wedges_in_{0};
-  std::atomic<std::int64_t> wedges_dropped_{0};
-  std::atomic<std::int64_t> wedges_failed_{0};
+  StreamDecompressor(const StreamDecompressor&) = delete;
+  StreamDecompressor& operator=(const StreamDecompressor&) = delete;
 
-  // Busy-interval union: a clock that runs while >=1 worker is compressing.
-  std::mutex busy_mutex_;
-  int busy_workers_ = 0;
-  util::Timer busy_timer_;
-  double busy_s_ = 0.0;
+  /// Non-blocking submit with backpressure accounting.
+  bool try_submit(CompressedWedge wedge) { return pipeline_.try_submit(std::move(wedge)); }
+  /// Blocking submit (test/offline use).
+  void submit(CompressedWedge wedge) { pipeline_.submit(std::move(wedge)); }
 
-  // Ordered-sink reorder buffer.  nullopt marks a failed wedge whose
-  // sequence number must still advance the emit cursor.
-  std::mutex reorder_mutex_;
-  std::map<std::uint64_t, std::optional<CompressedWedge>> reorder_;
-  std::uint64_t next_emit_ = 0;
+  /// Close the intake, drain the queue, join the workers and return totals
+  /// plus the per-worker breakdown (idempotent, like the write side).
+  StreamStats finish() { return pipeline_.finish(); }
 
-  std::vector<WorkerStats> worker_stats_;
-  std::vector<std::thread> workers_;
+  const StreamOptions& options() const { return pipeline_.options(); }
 
-  std::atomic<bool> finished_{false};
-  std::mutex finish_mutex_;
-  StreamStats merged_;  ///< worker totals, filled once on first finish()
+ private:
+  StreamPipeline<CompressedWedge, core::Tensor> pipeline_;
 };
 
 }  // namespace nc::codec

@@ -1,0 +1,492 @@
+/// \file stream_pipeline.hpp
+/// \brief Generic worker-pool streaming stage: the threading skeleton shared
+///        by the write-side StreamCompressor and read-side StreamDecompressor.
+///
+/// The paper's deployment is two-sided: a real-time encoder keeps up with the
+/// collision rate at the DAQ, and offline analysis later runs the decoder
+/// heads over the stored bitstreams.  Both directions need the same
+/// machinery — a bounded intake queue, a pool of workers draining it in
+/// batches through some transform, sequence numbering, optional in-order
+/// emission, failure containment and idempotent teardown — so that machinery
+/// lives here once, parameterized by the batch transform:
+///
+///   StreamPipeline<In, Out>:  In items -> [BoundedQueue] -> n_workers x
+///       transform(batch of In) -> Out items -> sink(seq, Out)
+///
+/// Concurrency model (identical for every instantiation):
+///  * Every accepted item gets a sequence number matching queue (FIFO)
+///    order; the sink receives it alongside the payload.  Workers drain the
+///    queue in FIFO batches, so the sequence numbers within one batch are
+///    contiguous and ascending — the reorder bound below relies on this.
+///  * Unordered mode (default): workers invoke the sink as soon as a batch
+///    finishes, possibly concurrently — the sink must be thread-safe when
+///    `n_workers > 1`.
+///  * Ordered mode: outputs pass through a reorder buffer and the sink sees
+///    strictly increasing sequence numbers; sink invocations are serialized,
+///    so the sink needs no internal locking.  `reorder_capacity` bounds how
+///    far ahead of the emit cursor the buffer may grow: when it fills,
+///    workers holding later sequence numbers block until the cursor advances
+///    (the worker holding the next-to-emit batch always passes, so progress
+///    is guaranteed).  The bound is per-batch soft — the passing batch may
+///    overshoot by up to `batch_size` entries.
+///  * A transform failure (throw, or wrong output count) drops the whole
+///    batch into `wedges_failed` without killing the worker (a dead worker
+///    turns blocking submits into a deadlock) or stalling the ordered cursor.
+///  * `finish()` is idempotent (atomic exchange) and safe to call from any
+///    thread, including implicitly via the destructor after an explicit
+///    `finish()`.
+///
+/// Timing: per-worker `active_s` is thread-time spent in transform+sink; the
+/// aggregate `elapsed_s` is the union of busy intervals (wall time during
+/// which at least one worker was busy), so `throughput_wps()` reflects true
+/// parallel throughput rather than summed thread-time.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace nc::codec {
+
+/// Thread-safe bounded FIFO.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Non-blocking enqueue; false when the queue is full (backpressure).
+  bool try_push(T item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(item));
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking enqueue; false only when the queue is closed.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_space_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) return false;
+    queue_.push_back(std::move(item));
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking dequeue; false when the queue is closed and drained.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return false;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    cv_space_.notify_one();
+    return true;
+  }
+
+  /// Blocking batch dequeue: appends 1..max_items items to `out` (blocking
+  /// beyond the first element never happens — it takes what is there).
+  /// Same terminal contract as pop: returns 0 *only* when the queue is
+  /// closed and drained, never as a spurious wakeup, so a 0 return is a
+  /// reliable shutdown signal at call sites.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max_items) {
+    if (max_items == 0) max_items = 1;  // keep the 0-iff-closed contract
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    std::size_t n = 0;
+    while (n < max_items && !queue_.empty()) {
+      out.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      ++n;
+    }
+    cv_space_.notify_all();
+    return n;
+  }
+
+  /// Block until the queue has free space or is closed; false when closed.
+  /// Space is not reserved: a concurrent producer may claim it first, so
+  /// callers combine this with try_push in a retry loop.
+  bool wait_for_space() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_space_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
+    return !closed_;
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    cv_.notify_all();
+    cv_space_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_, cv_space_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+/// Pipeline configuration knobs (shared by both stream directions).
+struct StreamOptions {
+  std::size_t queue_capacity = 64;  ///< intake bound (backpressure threshold)
+  std::size_t batch_size = 8;      ///< items per transform pass (Fig. 6)
+  std::size_t n_workers = 1;       ///< worker threads draining the queue
+  bool ordered = false;            ///< reorder output to submission order
+  /// Ordered mode only: max outputs buffered ahead of the emit cursor before
+  /// workers block (0 = unbounded).  Bounds memory when one worker stalls on
+  /// a slow batch while the others race ahead; soft by up to one batch.
+  std::size_t reorder_capacity = 0;
+};
+
+/// Per-worker accounting, reported in StreamStats::per_worker.  The counter
+/// names keep the write-side vocabulary ("compressed" = items that made it
+/// through the transform) so existing consumers read unchanged; for the
+/// read-side pipeline they count decoded wedges.
+struct WorkerStats {
+  std::int64_t wedges_compressed = 0;
+  std::int64_t batches = 0;
+  std::int64_t payload_bytes = 0;
+  double active_s = 0.0;  ///< thread-time spent in transform+sink
+};
+
+struct StreamStats {
+  std::int64_t wedges_in = 0;        ///< accepted into the queue
+  std::int64_t wedges_dropped = 0;   ///< lost: backpressure or submit after close
+  std::int64_t wedges_compressed = 0;  ///< made it through the transform
+  std::int64_t wedges_failed = 0;    ///< accepted but lost to a transform error
+  std::int64_t payload_bytes = 0;
+  double elapsed_s = 0.0;  ///< wall time with >=1 worker busy (parallel active time)
+  double cpu_s = 0.0;      ///< summed per-worker active time
+  std::vector<WorkerStats> per_worker;
+
+  double throughput_wps() const {
+    return elapsed_s > 0 ? wedges_compressed / elapsed_s : 0.0;
+  }
+};
+
+namespace detail {
+// Zero sizes are nonsensical (capacity 0 would deadlock blocking submits);
+// clamp before the queue is constructed from them.
+inline StreamOptions normalized_stream_options(StreamOptions options) {
+  if (options.queue_capacity == 0) options.queue_capacity = 1;
+  if (options.batch_size == 0) options.batch_size = 1;
+  if (options.n_workers == 0) options.n_workers = 1;
+  return options;
+}
+}  // namespace detail
+
+/// Generic multi-worker streaming stage: `n_workers` threads drain the input
+/// queue in batches of `batch_size` through `transform` (batching is what
+/// buys throughput on the encoder/decoder, Fig. 6) and hand every output to
+/// the sink.  `StreamCompressor` and `StreamDecompressor` are thin adapters
+/// over this class; tests instantiate it directly with synthetic transforms.
+template <typename In, typename Out>
+class StreamPipeline {
+ public:
+  /// Sink receiving each output alongside its submission sequence number.
+  using SeqSink = std::function<void(std::uint64_t, Out&&)>;
+  /// Batch transform: must return exactly one output per input, in input
+  /// order.  A throw (or a wrong-sized return) fails the whole batch.
+  using BatchFn = std::function<std::vector<Out>(std::vector<In>&&)>;
+  /// Per-output byte accounting for StreamStats::payload_bytes (may be null).
+  using ByteCounter = std::function<std::int64_t(const Out&)>;
+
+  StreamPipeline(const StreamOptions& options, BatchFn transform,
+                 ByteCounter payload_bytes, SeqSink sink)
+      : options_(detail::normalized_stream_options(options)),
+        transform_(std::move(transform)),
+        payload_bytes_(std::move(payload_bytes)),
+        sink_(std::move(sink)),
+        queue_(options_.queue_capacity) {
+    worker_stats_.resize(options_.n_workers);
+    workers_.reserve(options_.n_workers);
+    for (std::size_t w = 0; w < options_.n_workers; ++w) {
+      workers_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  ~StreamPipeline() { (void)finish(); }
+
+  StreamPipeline(const StreamPipeline&) = delete;
+  StreamPipeline& operator=(const StreamPipeline&) = delete;
+
+  /// Non-blocking submit with backpressure accounting.
+  bool try_submit(In item) {
+    // Counters update under the same lock as the push: a concurrent finish()
+    // snapshot must never see a processed item missing from wedges_in.
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    const bool accepted = queue_.try_push(Item{next_seq_, std::move(item)});
+    if (accepted) {
+      // Sequence numbers are only consumed by accepted items, so the ordered
+      // sink never waits on a gap left by a dropped one.
+      ++next_seq_;
+      wedges_in_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      wedges_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return accepted;
+  }
+
+  /// Blocking submit (test/offline use).
+  void submit(In item) {
+    // Wait for space *outside* submit_mutex_: holding it across a blocking
+    // push would stall concurrent try_submit callers (the real-time path)
+    // behind an offline producer parked on a full queue.
+    while (true) {
+      {
+        std::lock_guard<std::mutex> lock(submit_mutex_);
+        if (queue_.try_push(Item{next_seq_, item})) {
+          ++next_seq_;
+          wedges_in_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+      if (!queue_.wait_for_space()) {
+        // Queue closed (submit after finish); the item is lost and must
+        // show up in the drop count.
+        wedges_dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+
+  /// Close the intake, drain the queue, join the workers and return totals
+  /// plus the per-worker breakdown.  Idempotent: later calls return the same
+  /// processing totals with up-to-date intake/drop counters.
+  StreamStats finish() {
+    std::lock_guard<std::mutex> lock(finish_mutex_);
+    if (!finished_.exchange(true)) {
+      queue_.close();
+      for (auto& worker : workers_) {
+        if (worker.joinable()) worker.join();
+      }
+      merged_.per_worker = worker_stats_;
+      for (const auto& ws : worker_stats_) {
+        merged_.wedges_compressed += ws.wedges_compressed;
+        merged_.payload_bytes += ws.payload_bytes;
+        merged_.cpu_s += ws.active_s;
+      }
+      merged_.elapsed_s = busy_s_;  // workers joined: no interval still open
+    }
+    StreamStats out = merged_;
+    {
+      // Snapshot under submit_mutex_: a producer parked between making its
+      // item visible (try_push) and bumping wedges_in_ would otherwise let a
+      // concurrent finish() report wedges_compressed > wedges_in.
+      std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+      out.wedges_in = wedges_in_.load(std::memory_order_relaxed);
+      out.wedges_dropped = wedges_dropped_.load(std::memory_order_relaxed);
+    }
+    out.wedges_failed = wedges_failed_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  const StreamOptions& options() const { return options_; }
+
+ private:
+  /// A queued item tagged with its FIFO sequence number.
+  struct Item {
+    std::uint64_t seq = 0;
+    In value;
+  };
+
+  void enter_busy() {
+    std::lock_guard<std::mutex> lock(busy_mutex_);
+    if (busy_workers_++ == 0) busy_timer_.reset();
+  }
+
+  void exit_busy() {
+    std::lock_guard<std::mutex> lock(busy_mutex_);
+    if (--busy_workers_ == 0) busy_s_ += busy_timer_.elapsed_s();
+  }
+
+  /// Ordered mode: block while the reorder buffer is at capacity, unless
+  /// this batch can advance the emit cursor (its minimum sequence number is
+  /// at or below next_emit_) — that batch must always pass or nothing would
+  /// ever drain.  Sequence numbers within a batch are contiguous ascending
+  /// (FIFO pop + FIFO numbering), so seqs.front() is the minimum.
+  void wait_for_reorder_space_locked(std::unique_lock<std::mutex>& lock,
+                                     std::uint64_t min_seq) {
+    if (options_.reorder_capacity == 0) return;
+    reorder_cv_.wait(lock, [&] {
+      return min_seq <= next_emit_ ||
+             reorder_.size() < options_.reorder_capacity;
+    });
+  }
+
+  void emit_batch(const std::vector<std::uint64_t>& seqs,
+                  std::vector<Out>&& outputs) {
+    if (!options_.ordered) {
+      for (std::size_t i = 0; i < outputs.size(); ++i) {
+        sink_(seqs[i], std::move(outputs[i]));
+      }
+      return;
+    }
+    std::unique_lock<std::mutex> lock(reorder_mutex_);
+    wait_for_reorder_space_locked(lock, seqs.front());
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+      reorder_.emplace(seqs[i], std::move(outputs[i]));
+    }
+    drain_reorder_locked();
+  }
+
+  void skip_seqs(const std::vector<std::uint64_t>& seqs) {
+    if (!options_.ordered || seqs.empty()) return;
+    std::unique_lock<std::mutex> lock(reorder_mutex_);
+    // Skips occupy reorder slots too (they hold the cursor open), so they
+    // respect the same capacity bound as real outputs.
+    wait_for_reorder_space_locked(lock, seqs.front());
+    for (const auto seq : seqs) {
+      // Defensive: today callers only skip never-emitted batches, but a seq
+      // below the emit cursor would wedge the buffer on a key that can never
+      // match next_emit_ again, so keep the guard.
+      if (seq >= next_emit_) reorder_.emplace(seq, std::nullopt);
+    }
+    drain_reorder_locked();
+  }
+
+  void drain_reorder_locked() {  ///< caller holds reorder_mutex_
+    bool advanced = false;
+    while (!reorder_.empty() && reorder_.begin()->first == next_emit_) {
+      auto node = reorder_.extract(reorder_.begin());
+      // Advance the cursor before invoking the sink: if the sink throws,
+      // that item is lost but the stream keeps flowing instead of stalling
+      // on a sequence number that was already extracted.
+      ++next_emit_;
+      advanced = true;
+      if (node.mapped().has_value()) {
+        try {
+          sink_(node.key(), std::move(*node.mapped()));
+        } catch (const std::exception& e) {
+          // Swallow here: drain runs from worker catch handlers too (via
+          // skip_seqs), where a second throw would escape the thread and
+          // terminate the process.
+          NC_LOG_WARN << "ordered sink failed for item " << node.key() << ": "
+                      << e.what();
+        }
+      }
+    }
+    // Freed slots / advanced cursor: wake workers parked on the capacity.
+    if (advanced && options_.reorder_capacity != 0) reorder_cv_.notify_all();
+  }
+
+  void worker_loop(std::size_t worker_index) {
+    WorkerStats& ws = worker_stats_[worker_index];
+    std::vector<Item> items;
+    std::vector<std::uint64_t> seqs;
+    std::vector<In> batch;
+    items.reserve(options_.batch_size);
+    seqs.reserve(options_.batch_size);
+    batch.reserve(options_.batch_size);
+    while (true) {
+      items.clear();
+      seqs.clear();
+      batch.clear();
+      if (queue_.pop_batch(items, options_.batch_size) == 0) break;
+      for (auto& item : items) {
+        seqs.push_back(item.seq);
+        batch.push_back(std::move(item.value));
+      }
+      enter_busy();
+      // Time only the transform+sink work: counting from thread start would
+      // fold queue-wait idle into active time and deflate throughput_wps().
+      util::Timer timer;
+      std::vector<Out> outputs;
+      bool transform_ok = true;
+      try {
+        outputs = transform_(std::move(batch));
+        if (outputs.size() != seqs.size()) {
+          throw std::runtime_error("batch transform returned " +
+                                   std::to_string(outputs.size()) +
+                                   " outputs for " +
+                                   std::to_string(seqs.size()) + " items");
+        }
+      } catch (const std::exception& e) {
+        // A poisoned batch must not kill the worker (a dead worker turns
+        // blocking submits into a deadlock) nor stall the ordered sink.
+        transform_ok = false;
+        NC_LOG_WARN << "stream worker " << worker_index
+                    << ": dropping batch of " << seqs.size()
+                    << " items: " << e.what();
+        wedges_failed_.fetch_add(static_cast<std::int64_t>(seqs.size()),
+                                 std::memory_order_relaxed);
+        skip_seqs(seqs);
+      }
+      if (transform_ok) {
+        // The items are processed whatever the sink does with them, so the
+        // stats update precedes emission; a sink failure is logged but does
+        // not land in wedges_failed (reserved for transform errors).
+        std::int64_t bytes = 0;
+        if (payload_bytes_) {
+          for (const auto& out : outputs) bytes += payload_bytes_(out);
+        }
+        ws.wedges_compressed += static_cast<std::int64_t>(outputs.size());
+        ws.payload_bytes += bytes;
+        ++ws.batches;
+        try {
+          emit_batch(seqs, std::move(outputs));
+        } catch (const std::exception& e) {
+          // Only the unordered path throws here (the ordered drain swallows
+          // sink errors per item); the rest of this batch is lost downstream.
+          NC_LOG_WARN << "stream worker " << worker_index << ": sink error, "
+                      << seqs.size() << " processed items may be lost "
+                      << "downstream: " << e.what();
+        }
+      }
+      ws.active_s += timer.elapsed_s();
+      exit_busy();
+    }
+  }
+
+  StreamOptions options_;
+  BatchFn transform_;
+  ByteCounter payload_bytes_;
+  SeqSink sink_;
+  BoundedQueue<Item> queue_;
+
+  // Intake: the mutex makes sequence numbers match queue FIFO order.
+  std::mutex submit_mutex_;
+  std::uint64_t next_seq_ = 0;
+  std::atomic<std::int64_t> wedges_in_{0};
+  std::atomic<std::int64_t> wedges_dropped_{0};
+  std::atomic<std::int64_t> wedges_failed_{0};
+
+  // Busy-interval union: a clock that runs while >=1 worker is busy.
+  std::mutex busy_mutex_;
+  int busy_workers_ = 0;
+  util::Timer busy_timer_;
+  double busy_s_ = 0.0;
+
+  // Ordered-sink reorder buffer.  nullopt marks a failed item whose
+  // sequence number must still advance the emit cursor.
+  std::mutex reorder_mutex_;
+  std::condition_variable reorder_cv_;  ///< capacity waiters (ordered mode)
+  std::map<std::uint64_t, std::optional<Out>> reorder_;
+  std::uint64_t next_emit_ = 0;
+
+  std::vector<WorkerStats> worker_stats_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<bool> finished_{false};
+  std::mutex finish_mutex_;
+  StreamStats merged_;  ///< worker totals, filled once on first finish()
+};
+
+}  // namespace nc::codec

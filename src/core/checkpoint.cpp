@@ -40,7 +40,15 @@ void save_checkpoint_file(const std::string& path,
 }
 
 void load_checkpoint(std::istream& is, const std::vector<Param*>& params) {
-  util::read_magic(is, kKind);
+  // Version-gate the payload parsing: read_magic validates the magic but
+  // returns the version for the caller to judge — a future format bump must
+  // be rejected here, not misparsed as v1 field soup.
+  const std::uint32_t version = util::read_magic(is, kKind);
+  if (version != kVersion) {
+    throw util::SerializeError("unsupported checkpoint version " +
+                               std::to_string(version) + " (expected " +
+                               std::to_string(kVersion) + ")");
+  }
   const std::uint64_t count = util::read_u64(is);
   std::map<std::string, std::pair<Shape, std::vector<float>>> entries;
   for (std::uint64_t i = 0; i < count; ++i) {

@@ -164,7 +164,15 @@ void WedgeDataset::save(const std::string& path) const {
 WedgeDataset WedgeDataset::load(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("cannot open for read: " + path);
-  util::read_magic(is, kKind);
+  // Version-gate the payload parsing (same contract as checkpoint and
+  // CompressedWedge streams): an unknown version must fail loudly here, not
+  // be misparsed as v1 field soup.
+  const std::uint32_t version = util::read_magic(is, kKind);
+  if (version != kVersion) {
+    throw util::SerializeError("unsupported dataset version " +
+                               std::to_string(version) + " (expected " +
+                               std::to_string(kVersion) + ")");
+  }
   WedgeDataset ds;
   ds.shape_.radial = util::read_i64(is);
   ds.shape_.azim = util::read_i64(is);

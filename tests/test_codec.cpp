@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -142,6 +143,40 @@ TEST(BoundedQueue, CloseWhileDrainDeliversRemainingItems) {
   EXPECT_EQ(q.pop_batch(drained, 3), 2u);
   EXPECT_EQ(drained, (std::vector<int>{0, 1, 2, 3, 4}));
   EXPECT_EQ(q.pop_batch(drained, 3), 0u);  // closed + empty
+}
+
+TEST(BoundedQueue, PopBatchZeroMeansClosedAndDrained) {
+  // pop_batch shares pop's terminal contract: while the queue is open it
+  // blocks until it can deliver >= 1 item — a 0 return is never a spurious
+  // wakeup, only the closed-and-drained shutdown signal.
+  nc::codec::BoundedQueue<int> q(4);
+  std::thread pusher([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    (void)q.try_push(7);
+  });
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 2), 1u);  // woke for the item, not spuriously
+  EXPECT_EQ(out, (std::vector<int>{7}));
+  pusher.join();
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    q.close();
+  });
+  EXPECT_EQ(q.pop_batch(out, 2), 0u);  // 0 <=> closed and drained...
+  closer.join();
+  EXPECT_EQ(q.pop_batch(out, 2), 0u);  // ...and it is terminal
+  int v = 0;
+  EXPECT_FALSE(q.pop(v));  // pop agrees: same contract
+}
+
+TEST(BoundedQueue, PopBatchMaxItemsZeroStillDeliversOne) {
+  // max_items == 0 is clamped to 1: returning 0 from an open queue would
+  // violate the 0-iff-closed contract above.
+  nc::codec::BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.try_push(3));
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 0), 1u);
+  EXPECT_EQ(out, (std::vector<int>{3}));
 }
 
 TEST(StreamCompressor, CompressesEverySubmittedWedge) {

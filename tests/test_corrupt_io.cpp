@@ -5,11 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
 #include "codec/bcae_codec.hpp"
 #include "core/checkpoint.hpp"
+#include "tpc/dataset.hpp"
 #include "util/serialize.hpp"
 
 namespace {
@@ -67,6 +70,17 @@ TEST(CorruptCheckpoint, TruncatedPayloadRejected) {
 TEST(CorruptCheckpoint, WrongMagicRejected) {
   std::ostringstream os;
   nc::util::write_magic(os, kWedgeKind, 1);  // wedge magic in a checkpoint
+  std::istringstream is(os.str());
+  EXPECT_THROW(nc::core::load_checkpoint(is, std::vector<nc::core::Param*>{}),
+               SerializeError);
+}
+
+TEST(CorruptCheckpoint, UnknownVersionRejected) {
+  // A bumped version byte over an otherwise well-formed v1 body must be
+  // rejected up front, not misparsed as v1 fields.
+  std::ostringstream os;
+  nc::util::write_magic(os, kCheckpointKind, 2);
+  nc::util::write_u64(os, 0);  // zero parameters: valid v1 payload
   std::istringstream is(os.str());
   EXPECT_THROW(nc::core::load_checkpoint(is, std::vector<nc::core::Param*>{}),
                SerializeError);
@@ -156,6 +170,39 @@ TEST(CorruptWedge, WrongMagicRejected) {
   nc::util::write_magic(os, kCheckpointKind, 1);
   std::istringstream is(os.str());
   EXPECT_THROW(CompressedWedge::deserialize(is), SerializeError);
+}
+
+TEST(CorruptWedge, UnknownVersionRejected) {
+  // Same version gate as the checkpoint: a v2 stream with a valid v1 body
+  // must fail loudly at the header.
+  std::ostringstream os;
+  nc::util::write_magic(os, kWedgeKind, 2);
+  nc::util::write_i64(os, 16);
+  nc::util::write_i64(os, 32);
+  nc::util::write_i64(os, 31);
+  nc::util::write_u64(os, 3);
+  for (const auto d : {32, 4, 4}) nc::util::write_i64(os, d);
+  nc::util::write_u64(os, 512);
+  const std::vector<nc::util::half> payload(512);
+  nc::util::write_bytes(os, payload.data(),
+                        payload.size() * sizeof(nc::util::half));
+  expect_wedge_rejected(os.str());
+}
+
+TEST(CorruptDataset, UnknownVersionRejected) {
+  // The third serialized format carries the same version gate as the
+  // checkpoint and wedge streams.
+  const std::string path = ::testing::TempDir() + "nc_corrupt_dataset.bin";
+  {
+    std::ofstream os(path, std::ios::binary);
+    constexpr char kDatasetKind[4] = {'W', 'D', 'G', 'S'};
+    nc::util::write_magic(os, kDatasetKind, 2);
+    for (int i = 0; i < 3; ++i) nc::util::write_i64(os, 4);  // valid v1 shape
+    nc::util::write_u64(os, 0);  // empty train pool
+    nc::util::write_u64(os, 0);  // empty test pool
+  }
+  EXPECT_THROW((void)nc::tpc::WedgeDataset::load(path), SerializeError);
+  std::remove(path.c_str());
 }
 
 TEST(CorruptWedge, ValidStreamStillRoundTrips) {

@@ -1,0 +1,249 @@
+/// Generic StreamPipeline semantics, tested with synthetic transforms so the
+/// worker-pool machinery (sequencing, reorder bound, failure containment,
+/// finish) is exercised without the codec in the way.  StreamCompressor /
+/// StreamDecompressor are thin adapters over this class — the codec-facing
+/// behavior lives in test_codec.cpp and test_stream_decompress.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "codec/stream_pipeline.hpp"
+
+namespace {
+
+using nc::codec::StreamOptions;
+using nc::codec::StreamPipeline;
+using IntPipeline = StreamPipeline<int, int>;
+
+/// Transform doubling every item; counts completed (returned) transforms.
+IntPipeline::BatchFn doubling(std::atomic<int>& completed) {
+  return [&completed](std::vector<int>&& in) {
+    std::vector<int> out;
+    out.reserve(in.size());
+    for (const int v : in) out.push_back(2 * v);
+    completed.fetch_add(static_cast<int>(in.size()));
+    return out;
+  };
+}
+
+TEST(StreamPipeline, GenericTransformProcessesEverySubmission) {
+  StreamOptions opt;
+  opt.queue_capacity = 16;
+  opt.batch_size = 4;
+  opt.n_workers = 3;
+  std::atomic<int> completed{0};
+  std::mutex sink_mutex;
+  std::vector<std::pair<std::uint64_t, int>> received;
+  IntPipeline pipeline(opt, doubling(completed),
+                       [](const int&) { return std::int64_t{4}; },
+                       [&](std::uint64_t seq, int&& v) {
+                         std::lock_guard<std::mutex> lock(sink_mutex);
+                         received.emplace_back(seq, v);
+                       });
+  const int n = 25;
+  for (int i = 0; i < n; ++i) pipeline.submit(i);
+  const auto stats = pipeline.finish();
+  EXPECT_EQ(stats.wedges_in, n);
+  EXPECT_EQ(stats.wedges_compressed, n);
+  EXPECT_EQ(stats.wedges_dropped, 0);
+  EXPECT_EQ(stats.wedges_failed, 0);
+  EXPECT_EQ(stats.payload_bytes, 4 * n);
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(n));
+  for (const auto& [seq, v] : received) {
+    EXPECT_EQ(v, 2 * static_cast<int>(seq));  // seq identifies the input
+  }
+  ASSERT_EQ(stats.per_worker.size(), 3u);
+  std::int64_t per_worker_sum = 0;
+  for (const auto& ws : stats.per_worker) per_worker_sum += ws.wedges_compressed;
+  EXPECT_EQ(per_worker_sum, n);
+}
+
+TEST(StreamPipeline, OrderedModeEmitsInSubmissionOrder) {
+  StreamOptions opt;
+  opt.queue_capacity = 8;
+  opt.batch_size = 2;
+  opt.n_workers = 4;
+  opt.ordered = true;
+  std::atomic<int> completed{0};
+  // Ordered mode serializes sink invocations: no lock needed.
+  std::vector<std::uint64_t> seqs;
+  IntPipeline pipeline(opt, doubling(completed), nullptr,
+                       [&](std::uint64_t seq, int&&) { seqs.push_back(seq); });
+  const int n = 40;
+  for (int i = 0; i < n; ++i) pipeline.submit(i);
+  const auto stats = pipeline.finish();
+  EXPECT_EQ(stats.wedges_compressed, n);
+  EXPECT_EQ(stats.payload_bytes, 0);  // null byte counter
+  ASSERT_EQ(seqs.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(seqs[static_cast<std::size_t>(i)], static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(StreamPipeline, ThrowingTransformLandsInFailedAndKeepsWorkersAlive) {
+  StreamOptions opt;
+  opt.queue_capacity = 16;
+  opt.batch_size = 1;  // one victim per failure
+  opt.n_workers = 2;
+  opt.ordered = true;
+  std::vector<std::uint64_t> seqs;
+  IntPipeline pipeline(
+      opt,
+      [](std::vector<int>&& in) {
+        for (const int v : in) {
+          if (v % 5 == 3) throw std::runtime_error("poisoned item");
+        }
+        return std::move(in);
+      },
+      nullptr, [&](std::uint64_t seq, int&&) { seqs.push_back(seq); });
+  const int n = 20;
+  for (int i = 0; i < n; ++i) pipeline.submit(i);
+  const auto stats = pipeline.finish();
+  EXPECT_EQ(stats.wedges_in, n);
+  EXPECT_EQ(stats.wedges_failed, 4);  // 3, 8, 13, 18
+  EXPECT_EQ(stats.wedges_compressed, n - 4);
+  // The ordered cursor advanced past every failed seq: the survivors arrive
+  // in submission order with exactly the poisoned seqs missing.
+  ASSERT_EQ(seqs.size(), static_cast<std::size_t>(n - 4));
+  std::size_t at = 0;
+  for (int i = 0; i < n; ++i) {
+    if (i % 5 == 3) continue;
+    EXPECT_EQ(seqs[at++], static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(StreamPipeline, WrongSizedTransformOutputCountsAsFailure) {
+  StreamOptions opt;
+  opt.batch_size = 4;
+  opt.n_workers = 1;
+  std::atomic<int> received{0};
+  IntPipeline pipeline(
+      opt,
+      [](std::vector<int>&& in) {
+        in.pop_back();  // contract violation: one output short
+        return std::move(in);
+      },
+      nullptr, [&](std::uint64_t, int&&) { received.fetch_add(1); });
+  for (int i = 0; i < 8; ++i) pipeline.submit(i);
+  const auto stats = pipeline.finish();
+  EXPECT_EQ(stats.wedges_compressed, 0);
+  EXPECT_EQ(stats.wedges_failed, 8);
+  EXPECT_EQ(received.load(), 0);
+}
+
+TEST(StreamPipeline, ReorderCapacityBoundsBufferWithStalledWorker) {
+  // One worker stalls inside the transform while holding the next-to-emit
+  // item; the other worker races ahead.  Without the bound it would buffer
+  // every remaining item; with reorder_capacity it must park after filling
+  // the buffer (capacity entries) plus the one output in its hands.
+  constexpr int kItems = 32;
+  constexpr std::size_t kCapacity = 4;
+  StreamOptions opt;
+  opt.queue_capacity = 64;  // all submissions fit: intake never backpressures
+  opt.batch_size = 1;
+  opt.n_workers = 2;
+  opt.ordered = true;
+  opt.reorder_capacity = kCapacity;
+
+  std::mutex stall_mutex;
+  std::condition_variable stall_cv;
+  bool release = false;
+  std::atomic<int> completed{0};
+
+  std::vector<std::uint64_t> seqs;
+  IntPipeline pipeline(
+      opt,
+      [&](std::vector<int>&& in) {
+        if (in.front() == 0) {
+          std::unique_lock<std::mutex> lock(stall_mutex);
+          stall_cv.wait(lock, [&] { return release; });
+        }
+        completed.fetch_add(static_cast<int>(in.size()));
+        return std::move(in);
+      },
+      nullptr, [&](std::uint64_t seq, int&&) { seqs.push_back(seq); });
+
+  for (int i = 0; i < kItems; ++i) pipeline.submit(i);
+
+  // The free worker can complete at most kCapacity buffered transforms plus
+  // the one whose emit is parked on the full buffer.
+  constexpr int kBound = static_cast<int>(kCapacity) + 1;
+  for (int spin = 0; spin < 500 && completed.load() < kBound; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(completed.load(), kBound);
+  // Hold the stall a little longer: without the capacity the free worker
+  // would keep draining the queue into the reorder buffer unbounded.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_EQ(completed.load(), kBound);
+
+  {
+    std::lock_guard<std::mutex> lock(stall_mutex);
+    release = true;
+  }
+  stall_cv.notify_all();
+  const auto stats = pipeline.finish();
+  EXPECT_EQ(stats.wedges_compressed, kItems);
+  EXPECT_EQ(stats.wedges_failed, 0);
+  EXPECT_EQ(completed.load(), kItems);
+  ASSERT_EQ(seqs.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(seqs[static_cast<std::size_t>(i)], static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(StreamPipeline, ReorderCapacityAdmitsFailedBatchesWithoutDeadlock) {
+  // Failed batches occupy reorder slots (as skips) under the same capacity
+  // rule; a mix of failures and successes must still drain and finish.
+  StreamOptions opt;
+  opt.queue_capacity = 64;
+  opt.batch_size = 2;
+  opt.n_workers = 4;
+  opt.ordered = true;
+  opt.reorder_capacity = 2;  // tighter than the worker count
+  std::vector<std::uint64_t> seqs;
+  IntPipeline pipeline(
+      opt,
+      [](std::vector<int>&& in) {
+        for (const int v : in) {
+          if (v % 7 == 2) throw std::runtime_error("poisoned item");
+        }
+        return std::move(in);
+      },
+      nullptr, [&](std::uint64_t seq, int&&) { seqs.push_back(seq); });
+  const int n = 56;
+  for (int i = 0; i < n; ++i) pipeline.submit(i);
+  const auto stats = pipeline.finish();
+  EXPECT_EQ(stats.wedges_compressed + stats.wedges_failed, n);
+  EXPECT_GT(stats.wedges_failed, 0);
+  // Order is preserved across the failure gaps.
+  for (std::size_t i = 1; i < seqs.size(); ++i) {
+    EXPECT_LT(seqs[i - 1], seqs[i]);
+  }
+}
+
+TEST(StreamPipeline, FinishIdempotentWithGenericTransform) {
+  StreamOptions opt;
+  opt.batch_size = 2;
+  std::atomic<int> completed{0};
+  IntPipeline pipeline(opt, doubling(completed), nullptr,
+                       [](std::uint64_t, int&&) {});
+  for (int i = 0; i < 6; ++i) pipeline.submit(i);
+  const auto first = pipeline.finish();
+  const auto second = pipeline.finish();
+  EXPECT_EQ(first.wedges_compressed, 6);
+  EXPECT_EQ(second.wedges_compressed, 6);
+  EXPECT_DOUBLE_EQ(second.elapsed_s, first.elapsed_s);
+  // Submit after finish: both paths account the loss.
+  pipeline.submit(99);
+  EXPECT_FALSE(pipeline.try_submit(100));
+  EXPECT_EQ(pipeline.finish().wedges_dropped, 2);
+}
+
+}  // namespace
