@@ -1,17 +1,22 @@
 /// \file bench_stream.cpp
-/// \brief Worker-count scaling sweep for both streaming directions.
+/// \brief Worker-count scaling sweep for both streaming directions and both
+///        intake layers.
 ///
 /// Measures wedges/s through StreamCompressor (encode) and
 /// StreamDecompressor (decode, the offline-analysis side) as n_workers grows
-/// from 1 to the hardware concurrency, with OpenMP pinned to one thread per
-/// worker so the only parallelism under test is the worker pool itself.  The
-/// speedup column is what the shared StreamPipeline claims: on a machine
-/// with >= 4 cores, 4 workers should deliver well over 1.5x the
-/// single-worker rate in either direction.
+/// from 1 to the hardware concurrency, once with the single shared
+/// BoundedQueue and once with the sharded work-stealing intake, with OpenMP
+/// pinned to one thread per worker so the only parallelism under test is the
+/// worker pool itself.  The comparison is what the sharded intake claims: at
+/// high worker counts the sharded rows should be no worse than the
+/// single-queue rows (the shared queue's mutex is the contention point the
+/// shards remove), and the `stolen` column shows the stealing actually
+/// firing.
 ///
 /// The final stdout line is a single machine-readable JSON document
-/// (wedges/s per worker count, both directions) so perf trajectories can be
-/// tracked across commits by scraping `grep '^{'` from the output.
+/// (wedges/s per worker count, both directions, both intakes) so perf
+/// trajectories can be tracked across commits by scraping `grep '^{'` from
+/// the output — CI uploads it as the BENCH_stream.json artifact.
 ///
 /// Run:  ./bench_stream [--wedges 64] [--batch 4] [--max-workers 0]
 ///       (--max-workers 0 = sweep up to hardware_concurrency, min 4)
@@ -36,22 +41,24 @@ struct SweepPoint {
   double wps = 0.0;
   double speedup = 0.0;
   double cpu_per_wall = 0.0;
+  long long stolen = 0;
 };
 
 void print_point(const SweepPoint& p) {
-  std::printf("  %-8zu %12.3f %12.1f %9.2fx %10.2f\n", p.workers, p.wall_s,
-              p.wps, p.speedup, p.cpu_per_wall);
+  std::printf("  %-8zu %12.3f %12.1f %9.2fx %10.2f %8lld\n", p.workers,
+              p.wall_s, p.wps, p.speedup, p.cpu_per_wall, p.stolen);
 }
 
 std::string json_points(const std::vector<SweepPoint>& points) {
   std::string out = "[";
   for (std::size_t i = 0; i < points.size(); ++i) {
-    char buf[160];
+    char buf[192];
     std::snprintf(buf, sizeof(buf),
                   "%s{\"workers\":%zu,\"wall_s\":%.4f,\"wps\":%.2f,"
-                  "\"speedup\":%.3f,\"cpu_per_wall\":%.3f}",
+                  "\"speedup\":%.3f,\"cpu_per_wall\":%.3f,\"stolen\":%lld}",
                   i ? "," : "", points[i].workers, points[i].wall_s,
-                  points[i].wps, points[i].speedup, points[i].cpu_per_wall);
+                  points[i].wps, points[i].speedup, points[i].cpu_per_wall,
+                  points[i].stolen);
     out += buf;
   }
   return out + "]";
@@ -110,45 +117,57 @@ int main(int argc, char** argv) {
   for (std::size_t w = 1; w <= max_workers; w *= 2) sweep.push_back(w);
   if (sweep.back() != max_workers) sweep.push_back(max_workers);
 
-  // One run of either direction at a given worker count; returns the wall
-  // time and the pipeline stats for the derived columns.
-  const auto run_sweep = [&](const char* label,
-                             auto&& run_one) -> std::vector<SweepPoint> {
-    std::printf("\n%s direction:\n", label);
-    std::printf("  %-8s %12s %12s %10s %10s\n", "workers", "wall [s]", "wps",
-                "speedup", "cpu/wall");
-    std::vector<SweepPoint> points;
+  const codec::IntakeMode intakes[] = {codec::IntakeMode::kSingleQueue,
+                                       codec::IntakeMode::kSharded};
+
+  // One run of either direction at a given worker count and intake mode;
+  // returns the pipeline stats for the derived columns.  The speedup column
+  // is relative to the single-queue 1-worker baseline of the direction, so
+  // the two intake blocks are directly comparable.
+  const auto run_sweep = [&](const char* label, auto&& run_one) {
+    std::vector<std::vector<SweepPoint>> blocks;
     double base_wps = 0.0;
-    for (const std::size_t n_workers : sweep) {
-      codec::StreamOptions opt;
-      opt.queue_capacity = std::max<std::size_t>(64, 4 * n_workers);
-      opt.batch_size = batch;
-      opt.n_workers = n_workers;
-      util::Timer wall;
-      const codec::StreamStats stats = run_one(opt);
-      const double wall_s = wall.elapsed_s();
-      SweepPoint p;
-      p.workers = n_workers;
-      p.wall_s = wall_s;
-      p.wps = wall_s > 0
-                  ? static_cast<double>(stats.wedges_compressed) / wall_s
-                  : 0.0;
-      if (n_workers == 1) base_wps = p.wps;
-      p.speedup = base_wps > 0 ? p.wps / base_wps : 0.0;
-      p.cpu_per_wall = stats.elapsed_s > 0 ? stats.cpu_s / stats.elapsed_s : 0.0;
-      print_point(p);
-      points.push_back(p);
-      if (stats.wedges_compressed != n_wedges) {
-        std::fprintf(stderr, "ERROR: %s processed %lld of %lld wedges\n",
-                     label, static_cast<long long>(stats.wedges_compressed),
-                     static_cast<long long>(n_wedges));
-        std::exit(1);
+    for (const auto intake : intakes) {
+      std::printf("\n%s direction, %s intake:\n", label,
+                  codec::to_string(intake));
+      std::printf("  %-8s %12s %12s %10s %10s %8s\n", "workers", "wall [s]",
+                  "wps", "speedup", "cpu/wall", "stolen");
+      std::vector<SweepPoint> points;
+      for (const std::size_t n_workers : sweep) {
+        codec::StreamOptions opt;
+        opt.queue_capacity = std::max<std::size_t>(64, 4 * n_workers);
+        opt.batch_size = batch;
+        opt.n_workers = n_workers;
+        opt.intake = intake;
+        util::Timer wall;
+        const codec::StreamStats stats = run_one(opt);
+        const double wall_s = wall.elapsed_s();
+        SweepPoint p;
+        p.workers = n_workers;
+        p.wall_s = wall_s;
+        p.wps = wall_s > 0
+                    ? static_cast<double>(stats.wedges_compressed) / wall_s
+                    : 0.0;
+        if (base_wps == 0.0) base_wps = p.wps;  // single-queue, 1 worker
+        p.speedup = base_wps > 0 ? p.wps / base_wps : 0.0;
+        p.cpu_per_wall =
+            stats.elapsed_s > 0 ? stats.cpu_s / stats.elapsed_s : 0.0;
+        p.stolen = static_cast<long long>(stats.batches_stolen);
+        print_point(p);
+        points.push_back(p);
+        if (stats.wedges_compressed != n_wedges) {
+          std::fprintf(stderr, "ERROR: %s processed %lld of %lld wedges\n",
+                       label, static_cast<long long>(stats.wedges_compressed),
+                       static_cast<long long>(n_wedges));
+          std::exit(1);
+        }
       }
+      blocks.push_back(std::move(points));
     }
-    return points;
+    return blocks;  // [0] = single queue, [1] = sharded
   };
 
-  const auto compress_points =
+  const auto compress_blocks =
       run_sweep("compress", [&](const codec::StreamOptions& opt) {
         // The unordered sink runs concurrently across workers: tally atomically.
         std::atomic<std::int64_t> bytes{0};
@@ -162,7 +181,7 @@ int main(int argc, char** argv) {
         return stream.finish();
       });
 
-  const auto decompress_points =
+  const auto decompress_blocks =
       run_sweep("decompress", [&](const codec::StreamOptions& opt) {
         std::atomic<std::int64_t> voxels{0};
         codec::StreamDecompressor stream(
@@ -177,15 +196,20 @@ int main(int argc, char** argv) {
 
   if (hw < 4) {
     std::printf("\nnote: only %u hardware thread(s) visible — worker scaling "
-                "needs >= 4 cores to show the expected >1.5x at 4 workers.\n",
+                "needs >= 4 cores to show the expected >1.5x at 4 workers "
+                "(and single-vs-sharded contention differences).\n",
                 hw);
   }
 
   // Machine-readable trailer (single line, greppable with '^{').
   std::printf("\n{\"bench\":\"stream\",\"wedges\":%lld,\"batch\":%lld,"
-              "\"hardware_threads\":%u,\"compress\":%s,\"decompress\":%s}\n",
+              "\"hardware_threads\":%u,"
+              "\"compress\":{\"single\":%s,\"sharded\":%s},"
+              "\"decompress\":{\"single\":%s,\"sharded\":%s}}\n",
               static_cast<long long>(n_wedges), static_cast<long long>(batch),
-              hw, json_points(compress_points).c_str(),
-              json_points(decompress_points).c_str());
+              hw, json_points(compress_blocks[0]).c_str(),
+              json_points(compress_blocks[1]).c_str(),
+              json_points(decompress_blocks[0]).c_str(),
+              json_points(decompress_blocks[1]).c_str());
   return 0;
 }

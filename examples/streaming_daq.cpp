@@ -18,6 +18,7 @@
 ///
 /// Run:  ./streaming_daq [--rate 200] [--seconds 5] [--batch 16]
 ///                       [--workers 1] [--producers 1] [--ordered]
+///                       [--intake auto|single|sharded]
 ///       ./streaming_daq --roundtrip [--wedges 16] [--batch 4] [--workers 2]
 #include <algorithm>
 #include <atomic>
@@ -39,11 +40,13 @@ namespace {
 
 void print_stream_stats(const char* label, const nc::codec::StreamStats& stats) {
   std::printf("  %s: %lld wedges at %.1f wedges/s (%.2f busy-cores avg, "
-              "%lld failed)\n",
+              "%lld failed, %lld batches stolen, depth hwm %lld)\n",
               label, static_cast<long long>(stats.wedges_compressed),
               stats.throughput_wps(),
               stats.elapsed_s > 0 ? stats.cpu_s / stats.elapsed_s : 0.0,
-              static_cast<long long>(stats.wedges_failed));
+              static_cast<long long>(stats.wedges_failed),
+              static_cast<long long>(stats.batches_stolen),
+              static_cast<long long>(stats.queue_depth_hwm));
 }
 
 /// Roundtrip mode: compress `n` wedges through the stream, persist each to
@@ -108,8 +111,10 @@ int run_roundtrip(nc::codec::BcaeCodec& wedge_codec,
       acc.total_voxels() > 0
           ? static_cast<double>(m.actual_positive) / acc.total_voxels()
           : 0.0;
-  std::printf("\nroundtrip summary (%lld wedges, %zu worker(s), batch %zu%s):\n",
+  std::printf("\nroundtrip summary (%lld wedges, %zu worker(s), batch %zu, "
+              "%s intake%s):\n",
               static_cast<long long>(n), options.n_workers, options.batch_size,
+              nc::codec::to_string(compressor.options().intake),
               options.ordered ? ", ordered" : "");
   print_stream_stats("compress  ", cstats);
   print_stream_stats("decompress", dstats);
@@ -147,6 +152,9 @@ int main(int argc, char** argv) {
   args.add_option("workers", "1", "codec worker threads");
   args.add_option("producers", "1", "front-end producer threads");
   args.add_option("wedges", "16", "roundtrip mode: wedges through the chain");
+  args.add_option("intake", "auto",
+                  "intake layer: auto | single | sharded (auto = sharded "
+                  "when --workers > 1)");
   args.add_flag("ordered", "emit compressed wedges in submission order");
   args.add_flag("roundtrip",
                 "compress -> store -> decompress, scoring reconstructions");
@@ -166,13 +174,12 @@ int main(int argc, char** argv) {
 
   // A pre-trained model would be loaded from a checkpoint here; for the
   // example an untrained BCAE-2D is fine (throughput is weight-independent,
-  // and roundtrip metrics still exercise the full mask semantics).  The
-  // write-only demo uses half-precision inference; the roundtrip scores with
-  // the fp32 decoder because the untrained random weights drive decoder
-  // activations past the fp16 range (a trained model stays in range).
+  // and roundtrip metrics still exercise the full mask semantics).  Both
+  // modes run half-precision inference: the saturating activation cast
+  // clamps the untrained decoder's out-of-range intermediates, so even the
+  // roundtrip decode stays finite in fp16.
   auto model = bcae::make_bcae_2d(bcae::Bcae2dConfig{}, 7);
-  codec::BcaeCodec wedge_codec(
-      model, roundtrip ? core::Mode::kEval : core::Mode::kEvalHalf);
+  codec::BcaeCodec wedge_codec(model, core::Mode::kEvalHalf);
 
   // Clamp before the size_t casts: a negative flag value must not wrap into
   // an astronomically large queue or worker count.
@@ -184,6 +191,16 @@ int main(int argc, char** argv) {
   options.n_workers =
       static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("workers")));
   options.ordered = args.get_bool("ordered");
+  const std::string intake = args.get("intake");
+  if (intake == "single") {
+    options.intake = codec::IntakeMode::kSingleQueue;
+  } else if (intake == "sharded") {
+    options.intake = codec::IntakeMode::kSharded;
+  } else if (intake != "auto") {
+    std::fprintf(stderr, "unknown --intake '%s' (auto | single | sharded)\n",
+                 intake.c_str());
+    return 1;
+  }
 
   if (roundtrip) {
     const std::int64_t n = std::max<std::int64_t>(1, args.get_int("wedges"));
@@ -224,8 +241,9 @@ int main(int argc, char** argv) {
   const std::int64_t raw_bytes = stats.wedges_compressed *
                                  wedges.front().numel() * 2;  // fp16 accounting
   std::printf("\nstream summary (%.1f s at %.0f wedges/s offered, %d producer(s), "
-              "%zu worker(s)%s):\n",
+              "%zu worker(s), %s intake%s):\n",
               duration, rate, n_producers, options.n_workers,
+              codec::to_string(stream.options().intake),
               options.ordered ? ", ordered sink" : "");
   std::printf("  offered:     %lld wedges\n",
               static_cast<long long>(offered.load()));
@@ -248,11 +266,20 @@ int main(int argc, char** argv) {
   std::printf("  parallelism: %.2f busy-cores avg (cpu %.2fs / active %.2fs)\n",
               stats.elapsed_s > 0 ? stats.cpu_s / stats.elapsed_s : 0.0,
               stats.cpu_s, stats.elapsed_s);
+  // Effective capacity from the stats, not the requested knob: the sharded
+  // intake rounds the bound up to a shard multiple.
+  std::printf("  intake:      depth high-water %lld of %lld, %lld batches "
+              "stolen across shards\n",
+              static_cast<long long>(stats.queue_depth_hwm),
+              static_cast<long long>(stats.queue_capacity),
+              static_cast<long long>(stats.batches_stolen));
   for (std::size_t w = 0; w < stats.per_worker.size(); ++w) {
     const auto& ws = stats.per_worker[w];
-    std::printf("  worker %zu:    %lld wedges in %lld batches, %.2fs active\n",
+    std::printf("  worker %zu:    %lld wedges in %lld batches (%lld stolen), "
+                "%.2fs active\n",
                 w, static_cast<long long>(ws.wedges_compressed),
-                static_cast<long long>(ws.batches), ws.active_s);
+                static_cast<long long>(ws.batches),
+                static_cast<long long>(ws.batches_stolen), ws.active_s);
   }
   return 0;
 }

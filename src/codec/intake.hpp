@@ -1,0 +1,232 @@
+/// \file intake.hpp
+/// \brief Pluggable intake layer for StreamPipeline: the bounded FIFO that
+///        producers submit into and workers drain from.
+///
+/// PR 2/3 hard-wired every worker to one `BoundedQueue` behind one mutex —
+/// fine up to a few workers, a contention point beyond that.  This header
+/// extracts the intake contract the pipeline actually relies on so the queue
+/// becomes swappable (`StreamOptions::intake`):
+///
+///  * `try_push` — non-blocking enqueue; false means backpressure (or closed).
+///  * `wait_for_space` — park until space might exist or the intake closes;
+///    space is not reserved, so callers retry try_push in a loop.
+///  * `pop_batch` — blocking batch dequeue with the terminal contract every
+///    worker loop depends on: it returns 0 *only* when the intake is closed
+///    AND fully drained, never as a spurious wakeup.  When pushes are
+///    serialized (StreamPipeline submits under one mutex), items handed to
+///    one caller come out in FIFO order relative to each other (per pop
+///    source), so their sequence numbers are ascending within a batch —
+///    sharded implementations only guarantee this under that serialization.
+///  * `close` — idempotent; unblocks every parked producer and worker.
+///
+/// Implementations: `SingleQueueIntake` (this file) wraps the original
+/// `BoundedQueue`; `ShardedQueue` (sharded_queue.hpp) splits the intake into
+/// per-worker shards with batch work-stealing.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace nc::codec {
+
+/// Intake selector (StreamOptions::intake).
+enum class IntakeMode {
+  kAuto,         ///< sharded when n_workers > 1, single queue otherwise
+  kSingleQueue,  ///< one BoundedQueue shared by all workers
+  kSharded,      ///< per-worker shards with batch work-stealing
+};
+
+inline const char* to_string(IntakeMode mode) {
+  switch (mode) {
+    case IntakeMode::kAuto: return "auto";
+    case IntakeMode::kSingleQueue: return "single";
+    case IntakeMode::kSharded: return "sharded";
+  }
+  return "?";
+}
+
+namespace detail {
+/// Depth-adaptive drain sizing shared by every intake: a fair share of the
+/// observed backlog per worker, clamped to [1, max_items].  share == 0
+/// disables adaptivity (always max_items).  One definition so single-queue
+/// and sharded pipelines can never drift apart on batch-size behavior.
+inline std::size_t adaptive_drain_cap(std::size_t depth, std::size_t share,
+                                      std::size_t max_items) {
+  if (share == 0) return max_items;
+  const std::size_t fair = (depth + share - 1) / share;
+  return std::clamp<std::size_t>(fair, 1, max_items);
+}
+}  // namespace detail
+
+/// Thread-safe bounded FIFO (the original single-mutex intake; also used
+/// directly by tests as a plain concurrent queue).
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Non-blocking enqueue; false when the queue is full (backpressure).
+  bool try_push(T item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(item));
+    if (queue_.size() > high_water_) high_water_ = queue_.size();
+    depth_.store(queue_.size(), std::memory_order_relaxed);
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking enqueue; false only when the queue is closed.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_space_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) return false;
+    queue_.push_back(std::move(item));
+    if (queue_.size() > high_water_) high_water_ = queue_.size();
+    depth_.store(queue_.size(), std::memory_order_relaxed);
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking dequeue; false when the queue is closed and drained.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return false;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    depth_.store(queue_.size(), std::memory_order_relaxed);
+    cv_space_.notify_one();
+    return true;
+  }
+
+  /// Blocking batch dequeue: appends 1..max_items items to `out` (blocking
+  /// beyond the first element never happens — it takes what is there).
+  /// Same terminal contract as pop: returns 0 *only* when the queue is
+  /// closed and drained, never as a spurious wakeup, so a 0 return is a
+  /// reliable shutdown signal at call sites.
+  ///
+  /// `adaptive_share` > 0 enables depth-adaptive sizing: the effective cap
+  /// becomes clamp(ceil(depth / share), 1, max_items), computed on the
+  /// depth observed AFTER the blocking wait — so the first drain after an
+  /// idle park sees the burst that woke it, not the emptiness before it.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max_items,
+                        std::size_t adaptive_share = 0) {
+    if (max_items == 0) max_items = 1;  // keep the 0-iff-closed contract
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    max_items =
+        detail::adaptive_drain_cap(queue_.size(), adaptive_share, max_items);
+    std::size_t n = 0;
+    while (n < max_items && !queue_.empty()) {
+      out.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      ++n;
+    }
+    depth_.store(queue_.size(), std::memory_order_relaxed);
+    cv_space_.notify_all();
+    return n;
+  }
+
+  /// Block until the queue has free space or is closed; false when closed.
+  /// Space is not reserved: a concurrent producer may claim it first, so
+  /// callers combine this with try_push in a retry loop.
+  bool wait_for_space() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_space_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
+    return !closed_;
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    cv_.notify_all();
+    cv_space_.notify_all();
+  }
+
+  /// Approximate current depth (a racy snapshot, like any concurrent
+  /// size).  Lock-free so observers never contend with producers/workers
+  /// on the queue mutex.
+  std::size_t size() const {
+    return depth_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Deepest the queue has ever been (the DAQ headroom metric).
+  std::size_t depth_high_water() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return high_water_;
+  }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_, cv_space_;
+  std::deque<T> queue_;
+  std::atomic<std::size_t> depth_{0};  ///< mirrors queue_.size() (lock-free reads)
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+/// Intake contract consumed by StreamPipeline (see file comment).  Workers
+/// identify themselves by index so sharded implementations can give each its
+/// own shard; `stolen` (may be null) reports whether a pop crossed shards.
+template <typename T>
+class Intake {
+ public:
+  virtual ~Intake() = default;
+
+  virtual bool try_push(T item) = 0;
+  virtual bool wait_for_space() = 0;
+  /// `adaptive_share` > 0 scales the drain toward max_items when the intake
+  /// is backed up and toward 1 when lightly loaded, evaluated on the depth
+  /// observed at pop time (after any blocking wait); 0 always drains up to
+  /// max_items.
+  virtual std::size_t pop_batch(std::size_t worker_index, std::vector<T>& out,
+                                std::size_t max_items,
+                                std::size_t adaptive_share, bool* stolen) = 0;
+  virtual void close() = 0;
+  /// Approximate items currently queued.
+  virtual std::size_t size() const = 0;
+  /// Effective aggregate capacity (sharded intakes round the requested
+  /// capacity up to a shard multiple).
+  virtual std::size_t capacity() const = 0;
+  /// Deepest the intake has ever been across all shards.
+  virtual std::size_t depth_high_water() const = 0;
+};
+
+/// The original intake: one shared BoundedQueue, one mutex.  Still the right
+/// choice for a single worker and the baseline the sharded intake is
+/// benchmarked against.
+template <typename T>
+class SingleQueueIntake final : public Intake<T> {
+ public:
+  explicit SingleQueueIntake(std::size_t capacity) : queue_(capacity) {}
+
+  bool try_push(T item) override { return queue_.try_push(std::move(item)); }
+  bool wait_for_space() override { return queue_.wait_for_space(); }
+  std::size_t pop_batch(std::size_t /*worker_index*/, std::vector<T>& out,
+                        std::size_t max_items, std::size_t adaptive_share,
+                        bool* stolen) override {
+    if (stolen) *stolen = false;  // one shared queue: nothing to steal
+    return queue_.pop_batch(out, max_items, adaptive_share);
+  }
+  void close() override { queue_.close(); }
+  std::size_t size() const override { return queue_.size(); }
+  std::size_t capacity() const override { return queue_.capacity(); }
+  std::size_t depth_high_water() const override {
+    return queue_.depth_high_water();
+  }
+
+ private:
+  BoundedQueue<T> queue_;
+};
+
+}  // namespace nc::codec

@@ -1,0 +1,311 @@
+/// \file sharded_queue.hpp
+/// \brief Sharded work-stealing intake: per-worker bounded shards behind the
+///        generic `Intake` contract (intake.hpp).
+///
+/// The single BoundedQueue serializes every producer and every worker on one
+/// mutex; at high worker counts that lock is the pipeline's contention point
+/// (the ROADMAP scaling item this class closes).  Here the intake splits
+/// into `n_shards` independently-locked FIFOs:
+///
+///  * Producers submit round-robin (by push ticket) so load spreads without
+///    coordination; when the round-robin target is full they fall back to
+///    the shallowest shard with space, so one slow worker's backlog doesn't
+///    fail submits while sibling shards sit empty.  try_push fails only when
+///    every shard is full — the same backpressure threshold as a single
+///    queue of the aggregate capacity (rounded up to a shard multiple).
+///  * Workers drain their own shard first and steal a batch from the
+///    deepest sibling when it runs dry (`StealPolicy::kDeepest`, the
+///    throughput policy).  Under `kOldestHead` (used by ordered pipelines
+///    with a bounded reorder buffer) every pop instead targets the shard
+///    holding the globally oldest item — an approximate global FIFO that
+///    keeps the reorder buffer shallow and steers workers toward the
+///    next-to-emit sequence number.
+///
+/// Ordering: every push gets a monotonic ticket.  When pushes are
+/// externally serialized — as StreamPipeline's submit paths are, under
+/// submit_mutex_ — items within one shard are FIFO in submission order, so
+/// a popped batch is ascending in submission order (the property the
+/// pipeline's reorder buffer relies on; batches are no longer *contiguous*,
+/// which it tolerates) and kOldestHead is exact.  Fully concurrent
+/// producers still get correct delivery, backpressure and shutdown, but
+/// ticket assignment and shard insertion are then separate steps, so
+/// per-shard ticket order (and with it batch ascendingness and the
+/// oldest-head heuristic) is only approximate — do not feed an ordered
+/// pipeline from producers that bypass its submit serialization.
+/// The `pop_batch` terminal contract matches BoundedQueue: 0 is returned
+/// only when the intake is closed AND every shard is drained — a worker
+/// never parks while any sibling shard still holds items, so no wedge can
+/// be stranded in the shard of a stalled worker.
+///
+/// Locking: push/pop touch only one shard mutex on the fast path; the
+/// shared `park_mutex_` is taken only to sleep (empty intake) or to wake
+/// sleepers, never per item under load.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "codec/intake.hpp"
+
+namespace nc::codec {
+
+/// Victim-selection policy for cross-shard pops (see file comment).
+enum class StealPolicy {
+  kDeepest,     ///< own shard first, steal from the deepest sibling
+  kOldestHead,  ///< always pop the shard holding the oldest item
+};
+
+template <typename T>
+class ShardedQueue final : public Intake<T> {
+ public:
+  ShardedQueue(std::size_t n_shards, std::size_t capacity, StealPolicy policy)
+      : policy_(policy), shards_(n_shards == 0 ? 1 : n_shards) {
+    shard_capacity_ = (capacity + shards_.size() - 1) / shards_.size();
+    if (shard_capacity_ == 0) shard_capacity_ = 1;
+  }
+
+  bool try_push(T item) override {
+    if (closed_.load()) return false;
+    const std::uint64_t ticket = next_ticket_.fetch_add(1);
+    const std::size_t n = shards_.size();
+    const std::size_t primary = static_cast<std::size_t>(ticket % n);
+    if (push_to(primary, ticket, item)) return true;
+    // Round-robin target full: fall back to the shallowest shard with space.
+    std::size_t best = n;
+    std::size_t best_depth = std::numeric_limits<std::size_t>::max();
+    for (std::size_t s = 0; s < n; ++s) {
+      if (s == primary) continue;
+      const std::size_t d = shards_[s].depth.load();
+      if (d < shard_capacity_ && d < best_depth) {
+        best = s;
+        best_depth = d;
+      }
+    }
+    if (best < n && push_to(best, ticket, item)) return true;
+    // The shallowest candidate raced full (or none had space): try the rest
+    // so failure really means "every shard full", not "lost a race".
+    for (std::size_t s = 0; s < n; ++s) {
+      if (s == primary || s == best) continue;
+      if (push_to(s, ticket, item)) return true;
+    }
+    return false;
+  }
+
+  bool wait_for_space() override {
+    std::unique_lock<std::mutex> lock(park_mutex_);
+    ++space_sleepers_;
+    space_cv_.wait(lock, [&] { return closed_.load() || has_space(); });
+    --space_sleepers_;
+    return !closed_.load();
+  }
+
+  std::size_t pop_batch(std::size_t worker_index, std::vector<T>& out,
+                        std::size_t max_items, std::size_t adaptive_share,
+                        bool* stolen) override {
+    if (max_items == 0) max_items = 1;  // keep the 0-iff-closed contract
+    const std::size_t n = shards_.size();
+    const std::size_t own = worker_index % n;
+    while (true) {
+      // Recomputed every retry so the drain after an idle park is sized by
+      // the burst that woke the worker, not the emptiness before it.
+      const std::size_t cap = detail::adaptive_drain_cap(
+          total_items_.load(), adaptive_share, max_items);
+      // "Stolen" means serving a sibling's backlog because this worker's
+      // own shard was dry — the fairness event worth counting.  Under
+      // kOldestHead an off-shard pop with items still at home is just the
+      // ordering policy at work, not a steal.
+      const bool own_empty = shards_[own].depth.load() == 0;
+      const std::size_t source = pick_shard(own);
+      if (source < n) {
+        if (const std::size_t got = take_from(source, out, cap)) {
+          if (stolen) *stolen = (source != own) && own_empty;
+          return got;
+        }
+        continue;  // lost a race to another worker: rescan before parking
+      }
+      // Every shard looked empty: park until a push or close.  Re-check the
+      // totals under park_mutex_ — a producer increments total_items_ before
+      // checking pop_sleepers_, so registering as a sleeper first makes the
+      // wakeup race-free.
+      std::unique_lock<std::mutex> lock(park_mutex_);
+      if (total_items_.load() > 0) continue;
+      if (closed_.load()) {
+        // Drop park_mutex_ before the shard sweep (push_to takes shard
+        // then park: holding both here would be an ordering inversion).
+        lock.unlock();
+        if (verified_drained()) return 0;  // closed AND drained: terminal
+        continue;  // an accepted push was still in flight: go take it
+      }
+      ++pop_sleepers_;
+      park_cv_.wait(lock,
+                    [&] { return total_items_.load() > 0 || closed_.load(); });
+      --pop_sleepers_;
+    }
+  }
+
+  void close() override {
+    std::lock_guard<std::mutex> lock(park_mutex_);
+    closed_.store(true);
+    park_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  std::size_t size() const override { return total_items_.load(); }
+  /// Requested capacity rounded up to a shard multiple.
+  std::size_t capacity() const override {
+    return shard_capacity_ * shards_.size();
+  }
+  std::size_t depth_high_water() const override {
+    return depth_high_water_.load();
+  }
+  std::size_t n_shards() const { return shards_.size(); }
+
+ private:
+  static constexpr std::uint64_t kNoTicket =
+      std::numeric_limits<std::uint64_t>::max();
+
+  struct Entry {
+    std::uint64_t ticket = 0;
+    T value;
+  };
+
+  /// One lock + FIFO per shard, padded so neighbouring shard mutexes don't
+  /// share a cache line.  `depth` and `head_ticket` mirror the locked state
+  /// for lock-free victim selection (heuristic reads only — takes re-check
+  /// under the shard lock).
+  struct alignas(64) Shard {
+    mutable std::mutex m;
+    std::deque<Entry> q;
+    std::atomic<std::size_t> depth{0};
+    std::atomic<std::uint64_t> head_ticket{kNoTicket};
+  };
+
+  bool push_to(std::size_t s, std::uint64_t ticket, T& item) {
+    Shard& sh = shards_[s];
+    {
+      std::lock_guard<std::mutex> lock(sh.m);
+      if (closed_.load() || sh.q.size() >= shard_capacity_) return false;
+      if (sh.q.empty()) sh.head_ticket.store(ticket);
+      sh.q.push_back(Entry{ticket, std::move(item)});
+      sh.depth.store(sh.q.size());
+      // Inside the shard lock: an item visible in the deque is always
+      // counted, so take_from's decrement (which needs this lock first)
+      // can never run ahead of the increment and wrap the counter.
+      const std::size_t total = total_items_.fetch_add(1) + 1;
+      // High-water mark: exact when producers are serialized (as
+      // StreamPipeline's submit path is), approximate under free-for-all.
+      std::size_t hwm = depth_high_water_.load();
+      while (total > hwm &&
+             !depth_high_water_.compare_exchange_weak(hwm, total)) {
+      }
+    }
+    // Wake outside the shard lock: park_mutex_ after sh.m would invert
+    // against nothing today, but keeping the two uncoupled stays deadlock-
+    // safe whatever the sweep below does.
+    if (pop_sleepers_.load() > 0) {
+      std::lock_guard<std::mutex> lock(park_mutex_);
+      park_cv_.notify_all();
+    }
+    return true;
+  }
+
+  /// Authoritative terminal check: closed_ is already observed true, so any
+  /// producer that acquires a shard lock from here on rejects its push, and
+  /// any producer already inside push_to has inserted before we can take
+  /// that same lock — locking each shard once and finding it empty proves
+  /// no item exists or can ever appear.  (The lock-free total_items_ /
+  /// depth counters alone cannot prove this: a producer that passed the
+  /// closed_ check may still be mid-insert when they read 0.)
+  bool verified_drained() {
+    for (auto& sh : shards_) {
+      std::lock_guard<std::mutex> lock(sh.m);
+      if (!sh.q.empty()) return false;
+    }
+    return true;
+  }
+
+  std::size_t take_from(std::size_t s, std::vector<T>& out,
+                        std::size_t max_items) {
+    Shard& sh = shards_[s];
+    std::size_t got = 0;
+    {
+      std::lock_guard<std::mutex> lock(sh.m);
+      while (got < max_items && !sh.q.empty()) {
+        out.push_back(std::move(sh.q.front().value));
+        sh.q.pop_front();
+        ++got;
+      }
+      sh.depth.store(sh.q.size());
+      sh.head_ticket.store(sh.q.empty() ? kNoTicket : sh.q.front().ticket);
+    }
+    if (got > 0) {
+      total_items_.fetch_sub(got);
+      if (space_sleepers_.load() > 0) {
+        std::lock_guard<std::mutex> lock(park_mutex_);
+        space_cv_.notify_all();
+      }
+    }
+    return got;
+  }
+
+  /// Pick the shard to pop from; returns n_shards() when all look empty.
+  std::size_t pick_shard(std::size_t own) const {
+    const std::size_t n = shards_.size();
+    if (policy_ == StealPolicy::kOldestHead) {
+      std::size_t best = n;
+      std::uint64_t best_ticket = kNoTicket;
+      for (std::size_t s = 0; s < n; ++s) {
+        if (shards_[s].depth.load() == 0) continue;
+        const std::uint64_t t = shards_[s].head_ticket.load();
+        if (best == n || t < best_ticket || (t == best_ticket && s == own)) {
+          best = s;
+          best_ticket = t;
+        }
+      }
+      return best;
+    }
+    // kDeepest: drain the worker's own shard first, then the deepest.
+    if (shards_[own].depth.load() > 0) return own;
+    std::size_t best = n;
+    std::size_t best_depth = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      const std::size_t d = shards_[s].depth.load();
+      if (d > best_depth) {
+        best = s;
+        best_depth = d;
+      }
+    }
+    return best;
+  }
+
+  bool has_space() const {
+    for (const auto& sh : shards_) {
+      if (sh.depth.load() < shard_capacity_) return true;
+    }
+    return false;
+  }
+
+  StealPolicy policy_;
+  std::vector<Shard> shards_;
+  std::size_t shard_capacity_ = 1;
+  std::atomic<std::uint64_t> next_ticket_{0};
+  std::atomic<std::size_t> total_items_{0};
+  std::atomic<std::size_t> depth_high_water_{0};
+  std::atomic<bool> closed_{false};
+
+  // Sleep/wake layer: taken only when a producer or worker must park.
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;    ///< pop-side waiters (empty intake)
+  std::condition_variable space_cv_;   ///< push-side waiters (full intake)
+  std::atomic<int> pop_sleepers_{0};
+  std::atomic<int> space_sleepers_{0};
+};
+
+}  // namespace nc::codec

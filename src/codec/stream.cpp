@@ -45,8 +45,15 @@ StreamCompressor::StreamCompressor(BcaeCodec& codec, std::size_t queue_capacity,
                                    std::size_t batch_size, Sink sink)
     : StreamCompressor(
           codec,
-          StreamOptions{queue_capacity, batch_size, /*n_workers=*/1,
-                        /*ordered=*/false},
+          [&] {
+            // Legacy single-worker shape: one worker resolves kAuto to the
+            // single shared queue, exactly the pre-sharding behavior.
+            StreamOptions opt;
+            opt.queue_capacity = queue_capacity;
+            opt.batch_size = batch_size;
+            opt.n_workers = 1;
+            return opt;
+          }(),
           std::move(sink)) {}
 
 StreamDecompressor::StreamDecompressor(BcaeCodec& codec,

@@ -7,9 +7,13 @@
 /// analysis streams the stored bitstreams back through the decoder heads
 /// (`StreamDecompressor`).  Both are thin adapters over the generic
 /// `StreamPipeline` worker pool (see stream_pipeline.hpp for the concurrency
-/// model: bounded-queue intake with explicit backpressure, batched
-/// transforms, sequence numbering, optional in-order emission, failure
-/// containment and idempotent finish()).
+/// model: pluggable bounded intake — a shared queue or per-worker
+/// work-stealing shards, `StreamOptions::intake` — with explicit
+/// backpressure, adaptively-sized batched transforms, sequence numbering,
+/// optional in-order emission, failure containment and idempotent finish()).
+/// Both directions inherit the sharded intake and its steal/depth
+/// observability (`StreamStats::batches_stolen` / `queue_depth_hwm`) for
+/// free, since the intake lives below the transform.
 #pragma once
 
 #include <cstdint>

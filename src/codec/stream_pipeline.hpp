@@ -5,19 +5,30 @@
 /// The paper's deployment is two-sided: a real-time encoder keeps up with the
 /// collision rate at the DAQ, and offline analysis later runs the decoder
 /// heads over the stored bitstreams.  Both directions need the same
-/// machinery — a bounded intake queue, a pool of workers draining it in
-/// batches through some transform, sequence numbering, optional in-order
-/// emission, failure containment and idempotent teardown — so that machinery
-/// lives here once, parameterized by the batch transform:
+/// machinery — a bounded intake, a pool of workers draining it in batches
+/// through some transform, sequence numbering, optional in-order emission,
+/// failure containment and idempotent teardown — so that machinery lives
+/// here once, parameterized by the batch transform:
 ///
-///   StreamPipeline<In, Out>:  In items -> [BoundedQueue] -> n_workers x
+///   StreamPipeline<In, Out>:  In items -> [Intake] -> n_workers x
 ///       transform(batch of In) -> Out items -> sink(seq, Out)
 ///
+/// The intake layer is pluggable (intake.hpp): `IntakeMode::kSingleQueue` is
+/// the original shared BoundedQueue, `kSharded` gives every worker its own
+/// bounded shard with batch work-stealing (sharded_queue.hpp), and `kAuto`
+/// (the default) picks sharded whenever `n_workers > 1`.
+///
 /// Concurrency model (identical for every instantiation):
-///  * Every accepted item gets a sequence number matching queue (FIFO)
-///    order; the sink receives it alongside the payload.  Workers drain the
-///    queue in FIFO batches, so the sequence numbers within one batch are
-///    contiguous and ascending — the reorder bound below relies on this.
+///  * Every accepted item gets a sequence number matching submission (FIFO)
+///    order; the sink receives it alongside the payload.  A popped batch is
+///    ascending in sequence number (per-source FIFO).  With the single
+///    queue the numbers are also contiguous; sharded batches may have gaps
+///    (items routed to sibling shards), which the reorder buffer tolerates.
+///  * Adaptive batching (`StreamOptions::adaptive_batch`, on by default):
+///    each worker sizes its next drain from the current intake depth —
+///    toward `batch_size` when the pipeline is backed up (throughput),
+///    toward 1 when lightly loaded (latency, and batches spread across
+///    workers instead of one worker grabbing the whole trickle).
 ///  * Unordered mode (default): workers invoke the sink as soon as a batch
 ///    finishes, possibly concurrently — the sink must be thread-safe when
 ///    `n_workers > 1`.
@@ -25,10 +36,14 @@
 ///    strictly increasing sequence numbers; sink invocations are serialized,
 ///    so the sink needs no internal locking.  `reorder_capacity` bounds how
 ///    far ahead of the emit cursor the buffer may grow: when it fills,
-///    workers holding later sequence numbers block until the cursor advances
-///    (the worker holding the next-to-emit batch always passes, so progress
-///    is guaranteed).  The bound is per-batch soft — the passing batch may
-///    overshoot by up to `batch_size` entries.
+///    workers holding later sequence numbers block until the cursor advances.
+///    The bound is per-batch soft — a passing batch may overshoot by up to
+///    `batch_size` entries.  Progress guarantee: the worker holding the
+///    next-to-emit batch always passes, and if the next-to-emit item is
+///    still in the intake while every other worker is parked on the bound,
+///    the last arriving worker passes anyway (gate escape) and goes back to
+///    pop — the sharded intake's `kOldestHead` steal policy then steers it
+///    straight to that item, so the overshoot stays small.
 ///  * A transform failure (throw, or wrong output count) drops the whole
 ///    batch into `wedges_failed` without killing the worker (a dead worker
 ///    turns blocking submits into a deadlock) or stalling the ordered cursor.
@@ -42,117 +57,44 @@
 /// parallel throughput rather than summed thread-time.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "codec/intake.hpp"
+#include "codec/sharded_queue.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
 namespace nc::codec {
 
-/// Thread-safe bounded FIFO.
-template <typename T>
-class BoundedQueue {
- public:
-  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
-
-  /// Non-blocking enqueue; false when the queue is full (backpressure).
-  bool try_push(T item) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (closed_ || queue_.size() >= capacity_) return false;
-    queue_.push_back(std::move(item));
-    cv_.notify_one();
-    return true;
-  }
-
-  /// Blocking enqueue; false only when the queue is closed.
-  bool push(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_space_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
-    if (closed_) return false;
-    queue_.push_back(std::move(item));
-    cv_.notify_one();
-    return true;
-  }
-
-  /// Blocking dequeue; false when the queue is closed and drained.
-  bool pop(T& out) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
-    if (queue_.empty()) return false;
-    out = std::move(queue_.front());
-    queue_.pop_front();
-    cv_space_.notify_one();
-    return true;
-  }
-
-  /// Blocking batch dequeue: appends 1..max_items items to `out` (blocking
-  /// beyond the first element never happens — it takes what is there).
-  /// Same terminal contract as pop: returns 0 *only* when the queue is
-  /// closed and drained, never as a spurious wakeup, so a 0 return is a
-  /// reliable shutdown signal at call sites.
-  std::size_t pop_batch(std::vector<T>& out, std::size_t max_items) {
-    if (max_items == 0) max_items = 1;  // keep the 0-iff-closed contract
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
-    std::size_t n = 0;
-    while (n < max_items && !queue_.empty()) {
-      out.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-      ++n;
-    }
-    cv_space_.notify_all();
-    return n;
-  }
-
-  /// Block until the queue has free space or is closed; false when closed.
-  /// Space is not reserved: a concurrent producer may claim it first, so
-  /// callers combine this with try_push in a retry loop.
-  bool wait_for_space() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_space_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
-    return !closed_;
-  }
-
-  void close() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    closed_ = true;
-    cv_.notify_all();
-    cv_space_.notify_all();
-  }
-
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return queue_.size();
-  }
-
- private:
-  std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_, cv_space_;
-  std::deque<T> queue_;
-  bool closed_ = false;
-};
-
 /// Pipeline configuration knobs (shared by both stream directions).
 struct StreamOptions {
   std::size_t queue_capacity = 64;  ///< intake bound (backpressure threshold)
-  std::size_t batch_size = 8;      ///< items per transform pass (Fig. 6)
-  std::size_t n_workers = 1;       ///< worker threads draining the queue
+  std::size_t batch_size = 8;      ///< max items per transform pass (Fig. 6)
+  std::size_t n_workers = 1;       ///< worker threads draining the intake
   bool ordered = false;            ///< reorder output to submission order
   /// Ordered mode only: max outputs buffered ahead of the emit cursor before
   /// workers block (0 = unbounded).  Bounds memory when one worker stalls on
   /// a slow batch while the others race ahead; soft by up to one batch.
   std::size_t reorder_capacity = 0;
+  /// Intake implementation; kAuto = sharded iff n_workers > 1.
+  IntakeMode intake = IntakeMode::kAuto;
+  /// Sharded intake only: shard count (0 = one shard per worker).  The
+  /// aggregate capacity is queue_capacity rounded up to a shard multiple.
+  std::size_t n_shards = 0;
+  /// Scale each worker's drain batch with intake depth: up to batch_size
+  /// when backed up, down to 1 when lightly loaded (bounded latency).
+  bool adaptive_batch = true;
 };
 
 /// Per-worker accounting, reported in StreamStats::per_worker.  The counter
@@ -162,16 +104,22 @@ struct StreamOptions {
 struct WorkerStats {
   std::int64_t wedges_compressed = 0;
   std::int64_t batches = 0;
+  std::int64_t batches_stolen = 0;  ///< pops served from a sibling's shard
   std::int64_t payload_bytes = 0;
   double active_s = 0.0;  ///< thread-time spent in transform+sink
 };
 
 struct StreamStats {
-  std::int64_t wedges_in = 0;        ///< accepted into the queue
+  std::int64_t wedges_in = 0;        ///< accepted into the intake
   std::int64_t wedges_dropped = 0;   ///< lost: backpressure or submit after close
   std::int64_t wedges_compressed = 0;  ///< made it through the transform
   std::int64_t wedges_failed = 0;    ///< accepted but lost to a transform error
   std::int64_t payload_bytes = 0;
+  std::int64_t batches_stolen = 0;   ///< pops served off-shard for a dry shard
+  std::int64_t queue_depth_hwm = 0;  ///< deepest the intake ever got
+  /// Effective intake capacity: queue_capacity, rounded up to a shard
+  /// multiple by the sharded intake (the bound queue_depth_hwm runs under).
+  std::int64_t queue_capacity = 0;
   double elapsed_s = 0.0;  ///< wall time with >=1 worker busy (parallel active time)
   double cpu_s = 0.0;      ///< summed per-worker active time
   std::vector<WorkerStats> per_worker;
@@ -183,20 +131,42 @@ struct StreamStats {
 
 namespace detail {
 // Zero sizes are nonsensical (capacity 0 would deadlock blocking submits);
-// clamp before the queue is constructed from them.
+// clamp before the intake is constructed from them, and resolve kAuto so
+// options() reports the mode actually running.
 inline StreamOptions normalized_stream_options(StreamOptions options) {
   if (options.queue_capacity == 0) options.queue_capacity = 1;
   if (options.batch_size == 0) options.batch_size = 1;
   if (options.n_workers == 0) options.n_workers = 1;
+  if (options.intake == IntakeMode::kAuto) {
+    options.intake = options.n_workers > 1 ? IntakeMode::kSharded
+                                           : IntakeMode::kSingleQueue;
+  }
+  if (options.n_shards == 0) options.n_shards = options.n_workers;
   return options;
+}
+
+template <typename T>
+std::unique_ptr<Intake<T>> make_intake(const StreamOptions& options) {
+  if (options.intake == IntakeMode::kSharded) {
+    // Ordered pipelines with a bounded reorder buffer pop oldest-first so
+    // the buffer stays shallow and the gate escape resolves quickly;
+    // everything else steals by depth for throughput.
+    const StealPolicy policy = (options.ordered && options.reorder_capacity > 0)
+                                   ? StealPolicy::kOldestHead
+                                   : StealPolicy::kDeepest;
+    return std::make_unique<ShardedQueue<T>>(options.n_shards,
+                                             options.queue_capacity, policy);
+  }
+  return std::make_unique<SingleQueueIntake<T>>(options.queue_capacity);
 }
 }  // namespace detail
 
-/// Generic multi-worker streaming stage: `n_workers` threads drain the input
-/// queue in batches of `batch_size` through `transform` (batching is what
-/// buys throughput on the encoder/decoder, Fig. 6) and hand every output to
-/// the sink.  `StreamCompressor` and `StreamDecompressor` are thin adapters
-/// over this class; tests instantiate it directly with synthetic transforms.
+/// Generic multi-worker streaming stage: `n_workers` threads drain the
+/// intake in batches of up to `batch_size` through `transform` (batching is
+/// what buys throughput on the encoder/decoder, Fig. 6) and hand every
+/// output to the sink.  `StreamCompressor` and `StreamDecompressor` are thin
+/// adapters over this class; tests instantiate it directly with synthetic
+/// transforms.
 template <typename In, typename Out>
 class StreamPipeline {
  public:
@@ -214,7 +184,8 @@ class StreamPipeline {
         transform_(std::move(transform)),
         payload_bytes_(std::move(payload_bytes)),
         sink_(std::move(sink)),
-        queue_(options_.queue_capacity) {
+        intake_(detail::make_intake<Item>(options_)),
+        workers_alive_(options_.n_workers) {
     worker_stats_.resize(options_.n_workers);
     workers_.reserve(options_.n_workers);
     for (std::size_t w = 0; w < options_.n_workers; ++w) {
@@ -230,9 +201,11 @@ class StreamPipeline {
   /// Non-blocking submit with backpressure accounting.
   bool try_submit(In item) {
     // Counters update under the same lock as the push: a concurrent finish()
-    // snapshot must never see a processed item missing from wedges_in.
+    // snapshot must never see a processed item missing from wedges_in.  The
+    // lock also serializes pushes, so intake order matches seq order — the
+    // property the ordered mode's progress argument rests on.
     std::lock_guard<std::mutex> lock(submit_mutex_);
-    const bool accepted = queue_.try_push(Item{next_seq_, std::move(item)});
+    const bool accepted = intake_->try_push(Item{next_seq_, std::move(item)});
     if (accepted) {
       // Sequence numbers are only consumed by accepted items, so the ordered
       // sink never waits on a gap left by a dropped one.
@@ -248,18 +221,18 @@ class StreamPipeline {
   void submit(In item) {
     // Wait for space *outside* submit_mutex_: holding it across a blocking
     // push would stall concurrent try_submit callers (the real-time path)
-    // behind an offline producer parked on a full queue.
+    // behind an offline producer parked on a full intake.
     while (true) {
       {
         std::lock_guard<std::mutex> lock(submit_mutex_);
-        if (queue_.try_push(Item{next_seq_, item})) {
+        if (intake_->try_push(Item{next_seq_, item})) {
           ++next_seq_;
           wedges_in_.fetch_add(1, std::memory_order_relaxed);
           return;
         }
       }
-      if (!queue_.wait_for_space()) {
-        // Queue closed (submit after finish); the item is lost and must
+      if (!intake_->wait_for_space()) {
+        // Intake closed (submit after finish); the item is lost and must
         // show up in the drop count.
         wedges_dropped_.fetch_add(1, std::memory_order_relaxed);
         return;
@@ -267,13 +240,13 @@ class StreamPipeline {
     }
   }
 
-  /// Close the intake, drain the queue, join the workers and return totals
-  /// plus the per-worker breakdown.  Idempotent: later calls return the same
+  /// Close the intake, drain it, join the workers and return totals plus
+  /// the per-worker breakdown.  Idempotent: later calls return the same
   /// processing totals with up-to-date intake/drop counters.
   StreamStats finish() {
     std::lock_guard<std::mutex> lock(finish_mutex_);
     if (!finished_.exchange(true)) {
-      queue_.close();
+      intake_->close();
       for (auto& worker : workers_) {
         if (worker.joinable()) worker.join();
       }
@@ -281,9 +254,13 @@ class StreamPipeline {
       for (const auto& ws : worker_stats_) {
         merged_.wedges_compressed += ws.wedges_compressed;
         merged_.payload_bytes += ws.payload_bytes;
+        merged_.batches_stolen += ws.batches_stolen;
         merged_.cpu_s += ws.active_s;
       }
       merged_.elapsed_s = busy_s_;  // workers joined: no interval still open
+      merged_.queue_depth_hwm =
+          static_cast<std::int64_t>(intake_->depth_high_water());
+      merged_.queue_capacity = static_cast<std::int64_t>(intake_->capacity());
     }
     StreamStats out = merged_;
     {
@@ -320,15 +297,27 @@ class StreamPipeline {
   /// Ordered mode: block while the reorder buffer is at capacity, unless
   /// this batch can advance the emit cursor (its minimum sequence number is
   /// at or below next_emit_) — that batch must always pass or nothing would
-  /// ever drain.  Sequence numbers within a batch are contiguous ascending
-  /// (FIFO pop + FIFO numbering), so seqs.front() is the minimum.
+  /// ever drain.  Sequence numbers within a batch are ascending (FIFO pop
+  /// within its source shard), so seqs.front() is the minimum.
+  ///
+  /// Gate escape: with a sharded intake, pops are not globally FIFO, so the
+  /// next-to-emit item can still sit in a shard while every live worker
+  /// holds a later batch — without an escape that is a deadlock (everyone
+  /// parked here, nobody left to pop it).  The last free worker therefore
+  /// passes the gate anyway (detected as gate_waiters_ == workers_alive_ at
+  /// wait entry: nobody else can pop), overshooting the bound by its batch,
+  /// and returns to the intake — where the kOldestHead steal policy sends
+  /// it to the oldest pending item, i.e. toward next_emit_.
   void wait_for_reorder_space_locked(std::unique_lock<std::mutex>& lock,
                                      std::uint64_t min_seq) {
     if (options_.reorder_capacity == 0) return;
+    ++gate_waiters_;
     reorder_cv_.wait(lock, [&] {
       return min_seq <= next_emit_ ||
-             reorder_.size() < options_.reorder_capacity;
+             reorder_.size() < options_.reorder_capacity ||
+             gate_waiters_ >= workers_alive_;
     });
+    --gate_waiters_;
   }
 
   void emit_batch(const std::vector<std::uint64_t>& seqs,
@@ -399,14 +388,26 @@ class StreamPipeline {
       items.clear();
       seqs.clear();
       batch.clear();
-      if (queue_.pop_batch(items, options_.batch_size) == 0) break;
+      bool stolen = false;
+      // Adaptive batching happens inside the intake, on the depth observed
+      // at pop time: a fair share of the backlog per worker, clamped to
+      // [1, batch_size] — full batches when backed up (throughput), single
+      // items on a trickle (latency, and the trickle spreads across
+      // workers instead of one grabbing it all).
+      const std::size_t share =
+          options_.adaptive_batch ? options_.n_workers : 0;
+      if (intake_->pop_batch(worker_index, items, options_.batch_size, share,
+                             &stolen) == 0) {
+        break;
+      }
+      if (stolen) ++ws.batches_stolen;
       for (auto& item : items) {
         seqs.push_back(item.seq);
         batch.push_back(std::move(item.value));
       }
       enter_busy();
       // Time only the transform+sink work: counting from thread start would
-      // fold queue-wait idle into active time and deflate throughput_wps().
+      // fold intake-wait idle into active time and deflate throughput_wps().
       util::Timer timer;
       std::vector<Out> outputs;
       bool transform_ok = true;
@@ -453,15 +454,23 @@ class StreamPipeline {
       ws.active_s += timer.elapsed_s();
       exit_busy();
     }
+    // This thread is done popping: shrink the live-worker count the gate
+    // escape compares against and re-evaluate any parked waiter, so a
+    // shutdown can never strand a worker waiting for a popper that exited.
+    {
+      std::lock_guard<std::mutex> lock(reorder_mutex_);
+      --workers_alive_;
+    }
+    reorder_cv_.notify_all();
   }
 
   StreamOptions options_;
   BatchFn transform_;
   ByteCounter payload_bytes_;
   SeqSink sink_;
-  BoundedQueue<Item> queue_;
+  std::unique_ptr<Intake<Item>> intake_;
 
-  // Intake: the mutex makes sequence numbers match queue FIFO order.
+  // Intake sequencing: the mutex makes seq numbers match submission order.
   std::mutex submit_mutex_;
   std::uint64_t next_seq_ = 0;
   std::atomic<std::int64_t> wedges_in_{0};
@@ -480,6 +489,8 @@ class StreamPipeline {
   std::condition_variable reorder_cv_;  ///< capacity waiters (ordered mode)
   std::map<std::uint64_t, std::optional<Out>> reorder_;
   std::uint64_t next_emit_ = 0;
+  std::size_t gate_waiters_ = 0;   ///< workers parked on the reorder bound
+  std::size_t workers_alive_ = 0;  ///< workers still popping (gate escape)
 
   std::vector<WorkerStats> worker_stats_;
   std::vector<std::thread> workers_;

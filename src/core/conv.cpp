@@ -153,7 +153,10 @@ Tensor Conv2d::forward(const Tensor& x, Mode mode) {
         if (half_mode) {
           auto& inh = f16_scratch_b();
           inh.resize(static_cast<std::size_t>(in_stride));
-          util::float_to_half_n(in_s, inh.data(), in_stride);
+          // Saturating cast: an activation past the fp16 range (untrained or
+          // extreme weights, decoder heads especially) clamps to +/-65504
+          // instead of turning the rest of the forward non-finite.
+          util::float_to_half_sat_n(in_s, inh.data(), in_stride);
           auto& colbuf = f16_scratch();
           colbuf.resize(static_cast<std::size_t>(rows * cols));
           im2col_2d(inh.data(), g, colbuf.data());
@@ -312,7 +315,7 @@ Tensor Conv3d::forward(const Tensor& x, Mode mode) {
         if (half_mode) {
           auto& inh = f16_scratch_b();
           inh.resize(static_cast<std::size_t>(in_stride));
-          util::float_to_half_n(in_s, inh.data(), in_stride);
+          util::float_to_half_sat_n(in_s, inh.data(), in_stride);
           auto& colbuf = f16_scratch();
           colbuf.resize(static_cast<std::size_t>(rows * cols));
           vol2col_3d(inh.data(), g, colbuf.data());
@@ -476,7 +479,7 @@ Tensor ConvTranspose2d::forward(const Tensor& x, Mode mode) {
         if (half_mode) {
           auto& xh = f16_scratch();
           xh.resize(static_cast<std::size_t>(in_c_ * cols));
-          util::float_to_half_n(x_s, xh.data(), in_c_ * cols);
+          util::float_to_half_sat_n(x_s, xh.data(), in_c_ * cols);
           hgemm(rows, cols, in_c_, whalf->data(), in_c_, xh.data(),
                 cols, gcol.data(), cols);
         } else {
@@ -628,7 +631,7 @@ Tensor ConvTranspose3d::forward(const Tensor& x, Mode mode) {
         if (half_mode) {
           auto& xh = f16_scratch();
           xh.resize(static_cast<std::size_t>(in_c_ * cols));
-          util::float_to_half_n(x_s, xh.data(), in_c_ * cols);
+          util::float_to_half_sat_n(x_s, xh.data(), in_c_ * cols);
           hgemm(rows, cols, in_c_, whalf->data(), in_c_, xh.data(),
                 cols, gcol.data(), cols);
         } else {

@@ -21,6 +21,30 @@ void float_to_half_n(const float* src, half* dst, std::int64_t n) {
   for (; i < n; ++i) dst[i] = half(src[i]);
 }
 
+void float_to_half_sat_n(const float* src, half* dst, std::int64_t n) {
+  std::int64_t i = 0;
+#if NC_HALF_F16C
+  // Clamp before the narrowing convert.  Operand order matters: VMIN/VMAXPS
+  // return the second operand on an unordered compare, so putting the limit
+  // first lets NaN inputs flow through to the converter unchanged.
+  const __m256 lo = _mm256_set1_ps(-kHalfMax);
+  const __m256 hi = _mm256_set1_ps(kHalfMax);
+  for (; i + 8 <= n; i += 8) {
+    __m256 f = _mm256_loadu_ps(src + i);
+    f = _mm256_min_ps(hi, _mm256_max_ps(lo, f));
+    const __m128i h = _mm256_cvtps_ph(f, _MM_FROUND_TO_NEAREST_INT);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), h);
+  }
+#endif
+  for (; i < n; ++i) {
+    float f = src[i];
+    // NaN fails both comparisons and propagates unchanged.
+    if (f > kHalfMax) f = kHalfMax;
+    else if (f < -kHalfMax) f = -kHalfMax;
+    dst[i] = half(f);
+  }
+}
+
 void half_to_float_n(const half* src, float* dst, std::int64_t n) {
   std::int64_t i = 0;
 #if NC_HALF_F16C

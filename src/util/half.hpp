@@ -142,9 +142,21 @@ class half {
 
 static_assert(sizeof(half) == 2, "half must be 2 bytes");
 
+/// Largest finite binary16 value.
+inline constexpr float kHalfMax = 65504.f;
+
 /// Bulk float32 -> binary16 conversion.  Uses F16C (8 lanes per VCVTPS2PH)
 /// when available; scalar native/software conversion otherwise.
 void float_to_half_n(const float* src, half* dst, std::int64_t n);
+
+/// Saturating bulk conversion: out-of-range values clamp to +/-kHalfMax
+/// instead of overflowing to infinity (tensor-core saturating-cast
+/// semantics); NaN still propagates, and every in-range value converts
+/// bit-identically to float_to_half_n.  Used for the half-precision
+/// inference activations, where one out-of-range intermediate (untrained or
+/// extreme weights) would otherwise poison the whole forward with
+/// non-finite values.
+void float_to_half_sat_n(const float* src, half* dst, std::int64_t n);
 
 /// Bulk binary16 -> float32 conversion (VCVTPH2PS under F16C).
 void half_to_float_n(const half* src, float* dst, std::int64_t n);

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <chrono>
 #include <mutex>
 #include <sstream>
@@ -18,6 +19,7 @@ namespace {
 
 using nc::codec::BcaeCodec;
 using nc::codec::CompressedWedge;
+using nc::codec::IntakeMode;
 using nc::core::Mode;
 using nc::core::Tensor;
 
@@ -109,6 +111,19 @@ TEST(BcaeCodec, HalfAndFullModeCodesAgree) {
     scale = std::max(scale, std::abs(static_cast<double>(static_cast<float>(cf.code[i]))));
   }
   EXPECT_LT(max_diff, 0.02 * (scale + 1.0));
+}
+
+TEST(BcaeCodec, HalfModeDecompressStaysFiniteOnUntrainedWeights) {
+  // Untrained random weights drive the decoder's intermediate activations
+  // past the fp16 range; the saturating activation cast must clamp them so
+  // every reconstructed voxel is finite (the ROADMAP fp16-overflow item).
+  auto model = nc::bcae::make_bcae_ht(83);
+  BcaeCodec codec(model, Mode::kEvalHalf);
+  const auto cw = codec.compress(raw_wedge(0));
+  const Tensor recon = codec.decompress(cw);
+  for (std::int64_t i = 0; i < recon.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(recon[i])) << "voxel " << i << " = " << recon[i];
+  }
 }
 
 TEST(BcaeCodec, RejectsBadInputs) {
@@ -247,10 +262,22 @@ TEST(StreamCompressor, BlockingSubmitRidesOutTinyQueue) {
   EXPECT_EQ(received.load(), n);
 }
 
-TEST(StreamCompressor, MultiWorkerCompressesEverySubmittedWedge) {
+/// Multi-worker compressor contracts must hold for both intake layers (the
+/// shared queue and the sharded work-stealing intake).
+class StreamCompressorIntake : public ::testing::TestWithParam<IntakeMode> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    BothIntakes, StreamCompressorIntake,
+    ::testing::Values(IntakeMode::kSingleQueue, IntakeMode::kSharded),
+    [](const ::testing::TestParamInfo<IntakeMode>& info) {
+      return std::string(nc::codec::to_string(info.param));
+    });
+
+TEST_P(StreamCompressorIntake, MultiWorkerCompressesEverySubmittedWedge) {
   auto model = nc::bcae::make_bcae_ht(49);
   BcaeCodec codec(model, Mode::kEval);
   nc::codec::StreamOptions opt;
+  opt.intake = GetParam();
   opt.queue_capacity = 16;
   opt.batch_size = 2;
   opt.n_workers = 3;
@@ -287,10 +314,11 @@ TEST(StreamCompressor, MultiWorkerCompressesEverySubmittedWedge) {
   EXPECT_GT(stats.throughput_wps(), 0.0);
 }
 
-TEST(StreamCompressor, MultiWorkerDropAccountingUnderBackpressure) {
+TEST_P(StreamCompressorIntake, MultiWorkerDropAccountingUnderBackpressure) {
   auto model = nc::bcae::make_bcae_ht(51);
   BcaeCodec codec(model, Mode::kEval);
   nc::codec::StreamOptions opt;
+  opt.intake = GetParam();
   opt.queue_capacity = 1;
   opt.batch_size = 1;
   opt.n_workers = 2;
@@ -309,10 +337,11 @@ TEST(StreamCompressor, MultiWorkerDropAccountingUnderBackpressure) {
   EXPECT_EQ(received.load(), accepted);
 }
 
-TEST(StreamCompressor, OrderedSinkEmitsInSubmissionOrder) {
+TEST_P(StreamCompressorIntake, OrderedSinkEmitsInSubmissionOrder) {
   auto model = nc::bcae::make_bcae_ht(53);
   BcaeCodec codec(model, Mode::kEval);
   nc::codec::StreamOptions opt;
+  opt.intake = GetParam();
   opt.queue_capacity = 8;
   opt.batch_size = 2;
   opt.n_workers = 4;
@@ -332,10 +361,11 @@ TEST(StreamCompressor, OrderedSinkEmitsInSubmissionOrder) {
   }
 }
 
-TEST(StreamCompressor, UnorderedSeqsArePermutationOfSubmissions) {
+TEST_P(StreamCompressorIntake, UnorderedSeqsArePermutationOfSubmissions) {
   auto model = nc::bcae::make_bcae_ht(55);
   BcaeCodec codec(model, Mode::kEval);
   nc::codec::StreamOptions opt;
+  opt.intake = GetParam();
   opt.queue_capacity = 8;
   opt.batch_size = 2;
   opt.n_workers = 3;
@@ -356,10 +386,11 @@ TEST(StreamCompressor, UnorderedSeqsArePermutationOfSubmissions) {
   }
 }
 
-TEST(StreamCompressor, ThrowingSinkDoesNotKillOrderedPipeline) {
+TEST_P(StreamCompressorIntake, ThrowingSinkDoesNotKillOrderedPipeline) {
   auto model = nc::bcae::make_bcae_ht(65);
   BcaeCodec codec(model, Mode::kEval);
   nc::codec::StreamOptions opt;
+  opt.intake = GetParam();
   opt.queue_capacity = 8;
   opt.batch_size = 2;
   opt.n_workers = 2;
@@ -384,10 +415,11 @@ TEST(StreamCompressor, ThrowingSinkDoesNotKillOrderedPipeline) {
   }
 }
 
-TEST(StreamCompressor, ConcurrentProducersWithConcurrentFinish) {
+TEST_P(StreamCompressorIntake, ConcurrentProducersWithConcurrentFinish) {
   auto model = nc::bcae::make_bcae_ht(57);
   BcaeCodec codec(model, Mode::kEval);
   nc::codec::StreamOptions opt;
+  opt.intake = GetParam();
   opt.queue_capacity = 4;
   opt.batch_size = 2;
   opt.n_workers = 2;

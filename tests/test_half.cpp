@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/half.hpp"
@@ -97,6 +98,54 @@ TEST(Half, RoundToNearestEven) {
   EXPECT_EQ(static_cast<float>(half(2049.f)), 2048.f);
   // 2051 is between 2050 and 2052 -> ties to even (2052).
   EXPECT_EQ(static_cast<float>(half(2051.f)), 2052.f);
+}
+
+TEST(Half, SaturatingConversionClampsInsteadOfOverflowing) {
+  // float_to_half_sat_n: out-of-range -> +/-65504 (tensor-core saturating
+  // cast), NaN propagates, in-range bit-identical to the plain conversion.
+  const float inf = std::numeric_limits<float>::infinity();
+  std::vector<float> src = {1e6f,   -1e6f, 65504.f, -65504.f, 65520.f,
+                            1e38f,  inf,   -inf,    0.f,      -0.f,
+                            1.5f,   -3.75f, std::nanf(""),    65519.f};
+  std::vector<half> dst(src.size());
+  nc::util::float_to_half_sat_n(src.data(), dst.data(),
+                                static_cast<std::int64_t>(src.size()));
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const float back = static_cast<float>(dst[i]);
+    if (std::isnan(src[i])) {
+      EXPECT_TRUE(std::isnan(back)) << i;
+    } else if (src[i] > nc::util::kHalfMax) {
+      // Includes 65520.f, which the plain conversion ties-to-even up to
+      // infinity; saturation pins it to the max finite value instead.
+      EXPECT_EQ(back, nc::util::kHalfMax) << "src=" << src[i];
+    } else if (src[i] < -nc::util::kHalfMax) {
+      EXPECT_EQ(back, -nc::util::kHalfMax) << "src=" << src[i];
+    } else {
+      // In range: must agree bit-for-bit with the non-saturating path.
+      EXPECT_EQ(dst[i].bits(), half(src[i]).bits()) << "src=" << src[i];
+      EXPECT_TRUE(std::isfinite(back)) << "src=" << src[i];
+    }
+  }
+}
+
+TEST(Half, SaturatingBulkMatchesScalarTail) {
+  // Exercise both the 8-lane F16C path and the scalar tail with a length
+  // that is not a multiple of 8; every finite input must land finite.
+  std::vector<float> src(1003);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = std::sin(static_cast<float>(i)) * 1e6f;  // half overflows at 65504
+  }
+  std::vector<half> dst(src.size());
+  nc::util::float_to_half_sat_n(src.data(), dst.data(),
+                                static_cast<std::int64_t>(src.size()));
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const float back = static_cast<float>(dst[i]);
+    EXPECT_TRUE(std::isfinite(back)) << i;
+    EXPECT_LE(std::abs(back), nc::util::kHalfMax) << i;
+    if (std::abs(src[i]) <= nc::util::kHalfMax) {
+      EXPECT_EQ(dst[i].bits(), half(src[i]).bits()) << i;  // in-range exact
+    }
+  }
 }
 
 TEST(Half, BulkConversionMatchesScalar) {

@@ -18,6 +18,7 @@ namespace {
 
 using nc::codec::BcaeCodec;
 using nc::codec::CompressedWedge;
+using nc::codec::IntakeMode;
 using nc::codec::StreamCompressor;
 using nc::codec::StreamDecompressor;
 using nc::codec::StreamOptions;
@@ -109,13 +110,25 @@ TEST(StreamDecompressor, UnorderedSingleWorkerMatchesDirectDecompress) {
   EXPECT_EQ(stats.payload_bytes, decoded_bytes);  // fp16-accounted output volume
 }
 
-TEST(StreamDecompressor, UnorderedFourWorkersMatchesDirectDecompress) {
+/// Multi-worker read-side contracts must hold for both intake layers (the
+/// shared queue and the sharded work-stealing intake).
+class StreamDecompressorIntake : public ::testing::TestWithParam<IntakeMode> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    BothIntakes, StreamDecompressorIntake,
+    ::testing::Values(IntakeMode::kSingleQueue, IntakeMode::kSharded),
+    [](const ::testing::TestParamInfo<IntakeMode>& info) {
+      return std::string(nc::codec::to_string(info.param));
+    });
+
+TEST_P(StreamDecompressorIntake, UnorderedFourWorkersMatchesDirectDecompress) {
   auto model = nc::bcae::make_bcae_ht(73);
   BcaeCodec codec(model, Mode::kEval);
   const int n = 16;
   const auto cws = compressed_wedges(codec, n);
 
   StreamOptions opt;
+  opt.intake = GetParam();
   opt.queue_capacity = 8;
   opt.batch_size = 2;
   opt.n_workers = 4;
@@ -137,13 +150,14 @@ TEST(StreamDecompressor, UnorderedFourWorkersMatchesDirectDecompress) {
   }
 }
 
-TEST(StreamDecompressor, OrderedFourWorkersEmitInSubmissionOrder) {
+TEST_P(StreamDecompressorIntake, OrderedFourWorkersEmitInSubmissionOrder) {
   auto model = nc::bcae::make_bcae_ht(75);
   BcaeCodec codec(model, Mode::kEval);
   const int n = 12;
   const auto cws = compressed_wedges(codec, n);
 
   StreamOptions opt;
+  opt.intake = GetParam();
   opt.queue_capacity = 8;
   opt.batch_size = 2;
   opt.n_workers = 4;
@@ -167,7 +181,7 @@ TEST(StreamDecompressor, OrderedFourWorkersEmitInSubmissionOrder) {
   }
 }
 
-TEST(StreamDecompressor, PoisonedPayloadLandsInFailedWithoutKillingWorkers) {
+TEST_P(StreamDecompressorIntake, PoisonedPayloadLandsInFailedWithoutKillingWorkers) {
   auto model = nc::bcae::make_bcae_ht(77);
   BcaeCodec codec(model, Mode::kEval);
   const int n = 10;
@@ -176,6 +190,7 @@ TEST(StreamDecompressor, PoisonedPayloadLandsInFailedWithoutKillingWorkers) {
   cws[4].code.resize(cws[4].code.size() / 2);
 
   StreamOptions opt;
+  opt.intake = GetParam();
   opt.queue_capacity = 16;
   opt.batch_size = 1;  // contain the failure to the poisoned wedge
   opt.n_workers = 2;
@@ -200,7 +215,7 @@ TEST(StreamDecompressor, PoisonedPayloadLandsInFailedWithoutKillingWorkers) {
   }
 }
 
-TEST(StreamDecompressor, FullChainCompressSerializeDeserializeDecompress) {
+TEST_P(StreamDecompressorIntake, FullChainCompressSerializeDeserializeDecompress) {
   // The deployment path end-to-end: StreamCompressor -> byte store ->
   // StreamDecompressor, with seq numbers tying stored blobs to submissions.
   auto model = nc::bcae::make_bcae_ht(79);
@@ -208,6 +223,7 @@ TEST(StreamDecompressor, FullChainCompressSerializeDeserializeDecompress) {
   const int n = 8;
 
   StreamOptions copt;
+  copt.intake = GetParam();
   copt.queue_capacity = 8;
   copt.batch_size = 2;
   copt.n_workers = 2;
@@ -228,6 +244,7 @@ TEST(StreamDecompressor, FullChainCompressSerializeDeserializeDecompress) {
   ASSERT_EQ(storage.size(), static_cast<std::size_t>(n));
 
   StreamOptions dopt;
+  dopt.intake = GetParam();
   dopt.queue_capacity = 8;
   dopt.batch_size = 2;
   dopt.n_workers = 4;

@@ -1,8 +1,12 @@
 /// Generic StreamPipeline semantics, tested with synthetic transforms so the
 /// worker-pool machinery (sequencing, reorder bound, failure containment,
-/// finish) is exercised without the codec in the way.  StreamCompressor /
-/// StreamDecompressor are thin adapters over this class — the codec-facing
-/// behavior lives in test_codec.cpp and test_stream_decompress.cpp.
+/// finish) is exercised without the codec in the way.  Every suite runs
+/// twice — once per intake layer (single shared queue, sharded
+/// work-stealing) — since the pipeline contracts must hold identically for
+/// both.  StreamCompressor / StreamDecompressor are thin adapters over this
+/// class — the codec-facing behavior lives in test_codec.cpp and
+/// test_stream_decompress.cpp; sharded-intake-specific behavior (stealing,
+/// backpressure across shards) lives in test_sharded_intake.cpp.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -17,6 +21,7 @@
 
 namespace {
 
+using nc::codec::IntakeMode;
 using nc::codec::StreamOptions;
 using nc::codec::StreamPipeline;
 using IntPipeline = StreamPipeline<int, int>;
@@ -32,8 +37,25 @@ IntPipeline::BatchFn doubling(std::atomic<int>& completed) {
   };
 }
 
-TEST(StreamPipeline, GenericTransformProcessesEverySubmission) {
-  StreamOptions opt;
+/// Every pipeline contract below must hold for both intake layers.
+class StreamPipelineIntake : public ::testing::TestWithParam<IntakeMode> {
+ protected:
+  StreamOptions base_options() const {
+    StreamOptions opt;
+    opt.intake = GetParam();
+    return opt;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    BothIntakes, StreamPipelineIntake,
+    ::testing::Values(IntakeMode::kSingleQueue, IntakeMode::kSharded),
+    [](const ::testing::TestParamInfo<IntakeMode>& info) {
+      return std::string(nc::codec::to_string(info.param));
+    });
+
+TEST_P(StreamPipelineIntake, GenericTransformProcessesEverySubmission) {
+  StreamOptions opt = base_options();
   opt.queue_capacity = 16;
   opt.batch_size = 4;
   opt.n_workers = 3;
@@ -54,18 +76,27 @@ TEST(StreamPipeline, GenericTransformProcessesEverySubmission) {
   EXPECT_EQ(stats.wedges_dropped, 0);
   EXPECT_EQ(stats.wedges_failed, 0);
   EXPECT_EQ(stats.payload_bytes, 4 * n);
+  EXPECT_GT(stats.queue_depth_hwm, 0);
   ASSERT_EQ(received.size(), static_cast<std::size_t>(n));
   for (const auto& [seq, v] : received) {
     EXPECT_EQ(v, 2 * static_cast<int>(seq));  // seq identifies the input
   }
   ASSERT_EQ(stats.per_worker.size(), 3u);
   std::int64_t per_worker_sum = 0;
-  for (const auto& ws : stats.per_worker) per_worker_sum += ws.wedges_compressed;
+  std::int64_t stolen_sum = 0;
+  for (const auto& ws : stats.per_worker) {
+    per_worker_sum += ws.wedges_compressed;
+    stolen_sum += ws.batches_stolen;
+  }
   EXPECT_EQ(per_worker_sum, n);
+  EXPECT_EQ(stolen_sum, stats.batches_stolen);
+  if (GetParam() == IntakeMode::kSingleQueue) {
+    EXPECT_EQ(stats.batches_stolen, 0);  // one shared queue: nothing to steal
+  }
 }
 
-TEST(StreamPipeline, OrderedModeEmitsInSubmissionOrder) {
-  StreamOptions opt;
+TEST_P(StreamPipelineIntake, OrderedModeEmitsInSubmissionOrder) {
+  StreamOptions opt = base_options();
   opt.queue_capacity = 8;
   opt.batch_size = 2;
   opt.n_workers = 4;
@@ -86,8 +117,8 @@ TEST(StreamPipeline, OrderedModeEmitsInSubmissionOrder) {
   }
 }
 
-TEST(StreamPipeline, ThrowingTransformLandsInFailedAndKeepsWorkersAlive) {
-  StreamOptions opt;
+TEST_P(StreamPipelineIntake, ThrowingTransformLandsInFailedAndKeepsWorkersAlive) {
+  StreamOptions opt = base_options();
   opt.queue_capacity = 16;
   opt.batch_size = 1;  // one victim per failure
   opt.n_workers = 2;
@@ -118,8 +149,8 @@ TEST(StreamPipeline, ThrowingTransformLandsInFailedAndKeepsWorkersAlive) {
   }
 }
 
-TEST(StreamPipeline, WrongSizedTransformOutputCountsAsFailure) {
-  StreamOptions opt;
+TEST_P(StreamPipelineIntake, WrongSizedTransformOutputCountsAsFailure) {
+  StreamOptions opt = base_options();
   opt.batch_size = 4;
   opt.n_workers = 1;
   std::atomic<int> received{0};
@@ -137,14 +168,16 @@ TEST(StreamPipeline, WrongSizedTransformOutputCountsAsFailure) {
   EXPECT_EQ(received.load(), 0);
 }
 
-TEST(StreamPipeline, ReorderCapacityBoundsBufferWithStalledWorker) {
+TEST_P(StreamPipelineIntake, ReorderCapacityBoundsBufferWithStalledWorker) {
   // One worker stalls inside the transform while holding the next-to-emit
   // item; the other worker races ahead.  Without the bound it would buffer
   // every remaining item; with reorder_capacity it must park after filling
-  // the buffer (capacity entries) plus the one output in its hands.
+  // the buffer (capacity entries) plus the one output in its hands.  (The
+  // gate escape does not fire here: the stalled worker is inside the
+  // transform, not parked on the bound, so a free popper still exists.)
   constexpr int kItems = 32;
   constexpr std::size_t kCapacity = 4;
-  StreamOptions opt;
+  StreamOptions opt = base_options();
   opt.queue_capacity = 64;  // all submissions fit: intake never backpressures
   opt.batch_size = 1;
   opt.n_workers = 2;
@@ -179,7 +212,7 @@ TEST(StreamPipeline, ReorderCapacityBoundsBufferWithStalledWorker) {
   }
   EXPECT_EQ(completed.load(), kBound);
   // Hold the stall a little longer: without the capacity the free worker
-  // would keep draining the queue into the reorder buffer unbounded.
+  // would keep draining the intake into the reorder buffer unbounded.
   std::this_thread::sleep_for(std::chrono::milliseconds(150));
   EXPECT_EQ(completed.load(), kBound);
 
@@ -198,10 +231,10 @@ TEST(StreamPipeline, ReorderCapacityBoundsBufferWithStalledWorker) {
   }
 }
 
-TEST(StreamPipeline, ReorderCapacityAdmitsFailedBatchesWithoutDeadlock) {
+TEST_P(StreamPipelineIntake, ReorderCapacityAdmitsFailedBatchesWithoutDeadlock) {
   // Failed batches occupy reorder slots (as skips) under the same capacity
   // rule; a mix of failures and successes must still drain and finish.
-  StreamOptions opt;
+  StreamOptions opt = base_options();
   opt.queue_capacity = 64;
   opt.batch_size = 2;
   opt.n_workers = 4;
@@ -228,8 +261,8 @@ TEST(StreamPipeline, ReorderCapacityAdmitsFailedBatchesWithoutDeadlock) {
   }
 }
 
-TEST(StreamPipeline, FinishIdempotentWithGenericTransform) {
-  StreamOptions opt;
+TEST_P(StreamPipelineIntake, FinishIdempotentWithGenericTransform) {
+  StreamOptions opt = base_options();
   opt.batch_size = 2;
   std::atomic<int> completed{0};
   IntPipeline pipeline(opt, doubling(completed), nullptr,
@@ -244,6 +277,69 @@ TEST(StreamPipeline, FinishIdempotentWithGenericTransform) {
   pipeline.submit(99);
   EXPECT_FALSE(pipeline.try_submit(100));
   EXPECT_EQ(pipeline.finish().wedges_dropped, 2);
+}
+
+TEST(StreamPipeline, AutoIntakeResolvesByWorkerCount) {
+  std::atomic<int> completed{0};
+  StreamOptions opt;  // kAuto
+  opt.n_workers = 1;
+  IntPipeline single(opt, doubling(completed), nullptr,
+                     [](std::uint64_t, int&&) {});
+  EXPECT_EQ(single.options().intake, IntakeMode::kSingleQueue);
+  (void)single.finish();
+  opt.n_workers = 4;
+  IntPipeline sharded(opt, doubling(completed), nullptr,
+                      [](std::uint64_t, int&&) {});
+  EXPECT_EQ(sharded.options().intake, IntakeMode::kSharded);
+  EXPECT_EQ(sharded.options().n_shards, 4u);
+  (void)sharded.finish();
+}
+
+TEST(StreamPipeline, AdaptiveBatchingGrowsWithBacklog) {
+  // With a deep backlog a worker's drain grows to batch_size; a released
+  // stall guarantees the backlog exists when the worker resumes popping.
+  StreamOptions opt;
+  opt.intake = IntakeMode::kSharded;
+  opt.queue_capacity = 64;
+  opt.batch_size = 8;
+  opt.n_workers = 1;
+  ASSERT_TRUE(opt.adaptive_batch);  // the default under test
+
+  std::mutex stall_mutex;
+  std::condition_variable stall_cv;
+  bool release = false;
+  std::mutex sizes_mutex;
+  std::vector<std::size_t> batch_sizes;
+  StreamPipeline<int, int> pipeline(
+      opt,
+      [&](std::vector<int>&& in) {
+        {
+          std::lock_guard<std::mutex> lock(sizes_mutex);
+          batch_sizes.push_back(in.size());
+        }
+        for (const int v : in) {
+          if (v == 0) {
+            std::unique_lock<std::mutex> lock(stall_mutex);
+            stall_cv.wait(lock, [&] { return release; });
+          }
+        }
+        return std::move(in);
+      },
+      nullptr, [](std::uint64_t, int&&) {});
+  const int n = 33;
+  for (int i = 0; i < n; ++i) pipeline.submit(i);  // 32 queue behind the stall
+  {
+    std::lock_guard<std::mutex> lock(stall_mutex);
+    release = true;
+  }
+  stall_cv.notify_all();
+  const auto stats = pipeline.finish();
+  EXPECT_EQ(stats.wedges_compressed, n);
+  std::size_t max_batch = 0;
+  for (const auto s : batch_sizes) max_batch = std::max(max_batch, s);
+  // The backlog was 32 deep with one worker: adaptive sizing must have
+  // reached the full batch_size at least once.
+  EXPECT_EQ(max_batch, opt.batch_size);
 }
 
 }  // namespace
