@@ -13,16 +13,24 @@
 /// shards remove), and the `stolen` column shows the stealing actually
 /// firing.
 ///
+/// A burst sweep follows: a 4x-capacity try_submit burst with the spill
+/// tier enabled, per intake mode — the lossless-backpressure claim
+/// (wedges_dropped == 0, every spilled wedge replayed) measured rather than
+/// assumed, with the spilled/replayed counts in the JSON trailer.
+///
 /// The final stdout line is a single machine-readable JSON document
-/// (wedges/s per worker count, both directions, both intakes) so perf
-/// trajectories can be tracked across commits by scraping `grep '^{'` from
-/// the output — CI uploads it as the BENCH_stream.json artifact.
+/// (wedges/s per worker count, both directions, both intakes, plus the
+/// burst rows) so perf trajectories can be tracked across commits by
+/// scraping `grep '^{'` from the output — CI uploads it as the
+/// BENCH_stream.json artifact.
 ///
 /// Run:  ./bench_stream [--wedges 64] [--batch 4] [--max-workers 0]
 ///       (--max-workers 0 = sweep up to hardware_concurrency, min 4)
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -47,6 +55,28 @@ struct SweepPoint {
 void print_point(const SweepPoint& p) {
   std::printf("  %-8zu %12.3f %12.1f %9.2fx %10.2f %8lld\n", p.workers,
               p.wall_s, p.wps, p.speedup, p.cpu_per_wall, p.stolen);
+}
+
+struct BurstPoint {
+  std::size_t workers = 0;
+  std::size_t capacity = 0;
+  long long wedges = 0;
+  double wall_s = 0.0;
+  double wps = 0.0;
+  long long spilled = 0;
+  long long replayed = 0;
+  long long dropped = 0;
+};
+
+std::string json_burst(const BurstPoint& p) {
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "{\"workers\":%zu,\"capacity\":%zu,\"wedges\":%lld,"
+                "\"wall_s\":%.4f,\"wps\":%.2f,\"spilled\":%lld,"
+                "\"replayed\":%lld,\"dropped\":%lld}",
+                p.workers, p.capacity, p.wedges, p.wall_s, p.wps, p.spilled,
+                p.replayed, p.dropped);
+  return buf;
 }
 
 std::string json_points(const std::vector<SweepPoint>& points) {
@@ -194,6 +224,68 @@ int main(int argc, char** argv) {
         return stream.finish();
       });
 
+  // Burst absorption: try_submit a 4x-capacity burst against the compress
+  // pool with the spill tier enabled.  Drops or an unreplayed spill are
+  // hard errors — this row *is* the lossless-backpressure claim.
+  const auto spill_root =
+      std::filesystem::temp_directory_path() /
+      ("bench_stream_spill_" +
+       std::to_string(std::chrono::steady_clock::now().time_since_epoch().count()));
+  const std::size_t burst_workers = std::min<std::size_t>(4, max_workers);
+  const auto run_burst = [&](codec::IntakeMode intake) {
+    codec::StreamOptions opt;
+    opt.queue_capacity = 16;
+    opt.batch_size = batch;
+    opt.n_workers = burst_workers;
+    opt.intake = intake;
+    opt.spill_dir = (spill_root / codec::to_string(intake)).string();
+    const long long n_burst = 4 * static_cast<long long>(opt.queue_capacity);
+    std::atomic<std::int64_t> bytes{0};
+    util::Timer wall;
+    codec::StreamCompressor stream(
+        wedge_codec, opt, [&bytes](codec::CompressedWedge&& cw) {
+          bytes.fetch_add(cw.payload_bytes(), std::memory_order_relaxed);
+        });
+    for (long long i = 0; i < n_burst; ++i) {
+      (void)stream.try_submit(wedges[static_cast<std::size_t>(i) % wedges.size()]);
+    }
+    const codec::StreamStats stats = stream.finish();
+    BurstPoint p;
+    p.workers = opt.n_workers;
+    p.capacity = opt.queue_capacity;
+    p.wedges = n_burst;
+    p.wall_s = wall.elapsed_s();
+    p.wps = p.wall_s > 0
+                ? static_cast<double>(stats.wedges_compressed) / p.wall_s
+                : 0.0;
+    p.spilled = static_cast<long long>(stats.wedges_spilled);
+    p.replayed = static_cast<long long>(stats.wedges_replayed);
+    p.dropped = static_cast<long long>(stats.wedges_dropped);
+    std::printf("  %-8s %12.3f %12.1f %9lld %9lld %8lld\n",
+                codec::to_string(intake), p.wall_s, p.wps, p.spilled,
+                p.replayed, p.dropped);
+    if (stats.wedges_compressed != n_burst || p.dropped != 0 ||
+        p.replayed != p.spilled) {
+      std::fprintf(stderr,
+                   "ERROR: burst not lossless (%lld of %lld compressed, "
+                   "%lld dropped, %lld/%lld replayed)\n",
+                   static_cast<long long>(stats.wedges_compressed), n_burst,
+                   p.dropped, p.replayed, p.spilled);
+      std::error_code ec;
+      std::filesystem::remove_all(spill_root, ec);  // don't strand temp files
+      std::exit(1);
+    }
+    return p;
+  };
+  std::printf("\nburst (4x capacity, spill tier on, %zu workers):\n",
+              burst_workers);
+  std::printf("  %-8s %12s %12s %9s %9s %8s\n", "intake", "wall [s]", "wps",
+              "spilled", "replayed", "dropped");
+  const BurstPoint burst_single = run_burst(codec::IntakeMode::kSingleQueue);
+  const BurstPoint burst_sharded = run_burst(codec::IntakeMode::kSharded);
+  std::error_code cleanup_ec;
+  std::filesystem::remove_all(spill_root, cleanup_ec);
+
   if (hw < 4) {
     std::printf("\nnote: only %u hardware thread(s) visible — worker scaling "
                 "needs >= 4 cores to show the expected >1.5x at 4 workers "
@@ -205,11 +297,14 @@ int main(int argc, char** argv) {
   std::printf("\n{\"bench\":\"stream\",\"wedges\":%lld,\"batch\":%lld,"
               "\"hardware_threads\":%u,"
               "\"compress\":{\"single\":%s,\"sharded\":%s},"
-              "\"decompress\":{\"single\":%s,\"sharded\":%s}}\n",
+              "\"decompress\":{\"single\":%s,\"sharded\":%s},"
+              "\"burst\":{\"single\":%s,\"sharded\":%s}}\n",
               static_cast<long long>(n_wedges), static_cast<long long>(batch),
               hw, json_points(compress_blocks[0]).c_str(),
               json_points(compress_blocks[1]).c_str(),
               json_points(decompress_blocks[0]).c_str(),
-              json_points(decompress_blocks[1]).c_str());
+              json_points(decompress_blocks[1]).c_str(),
+              json_burst(burst_single).c_str(),
+              json_burst(burst_sharded).c_str());
   return 0;
 }

@@ -26,6 +26,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -40,6 +41,15 @@ enum class IntakeMode {
   kAuto,         ///< sharded when n_workers > 1, single queue otherwise
   kSingleQueue,  ///< one BoundedQueue shared by all workers
   kSharded,      ///< per-worker shards with batch work-stealing
+};
+
+/// Outcome of a timed space wait (`Intake::wait_for_space_for`) — the
+/// spill-deadline path needs to distinguish "space may exist, retry" from
+/// "closed, give up" from "deadline hit, divert to the spill tier".
+enum class SpaceWait {
+  kReady,    ///< space may exist (not reserved: retry try_push)
+  kClosed,   ///< intake closed while waiting
+  kTimeout,  ///< still full when the timeout expired
 };
 
 inline const char* to_string(IntakeMode mode) {
@@ -72,7 +82,9 @@ class BoundedQueue {
   explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
 
   /// Non-blocking enqueue; false when the queue is full (backpressure).
-  bool try_push(T item) {
+  /// Moves from `item` only on success — a failed push leaves it intact,
+  /// so overflow paths (the spill tier) can reuse it without a deep copy.
+  bool try_push(T&& item) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_ || queue_.size() >= capacity_) return false;
     queue_.push_back(std::move(item));
@@ -80,6 +92,12 @@ class BoundedQueue {
     depth_.store(queue_.size(), std::memory_order_relaxed);
     cv_.notify_one();
     return true;
+  }
+
+  /// Copying convenience for producers that keep their item.
+  bool try_push(const T& item) {
+    T copy = item;
+    return try_push(std::move(copy));
   }
 
   /// Blocking enqueue; false only when the queue is closed.
@@ -143,6 +161,16 @@ class BoundedQueue {
     return !closed_;
   }
 
+  /// Timed wait_for_space (the spill-deadline path): same no-reservation
+  /// caveat, but gives up after `timeout`.
+  SpaceWait wait_for_space_for(std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const bool woken = cv_space_.wait_for(
+        lock, timeout, [&] { return closed_ || queue_.size() < capacity_; });
+    if (!woken) return SpaceWait::kTimeout;
+    return closed_ ? SpaceWait::kClosed : SpaceWait::kReady;
+  }
+
   void close() {
     std::lock_guard<std::mutex> lock(mutex_);
     closed_ = true;
@@ -183,8 +211,18 @@ class Intake {
  public:
   virtual ~Intake() = default;
 
-  virtual bool try_push(T item) = 0;
+  /// Non-blocking enqueue; false means backpressure (or closed).  Moves
+  /// from `item` only on success — a failed push leaves it intact so the
+  /// caller (e.g. the spill tier) can reuse it without a deep copy.
+  virtual bool try_push(T&& item) = 0;
+  /// Copying convenience for producers that keep their item.
+  bool try_push(const T& item) {
+    T copy = item;
+    return try_push(std::move(copy));
+  }
   virtual bool wait_for_space() = 0;
+  /// Timed wait_for_space; kReady does not reserve space (retry try_push).
+  virtual SpaceWait wait_for_space_for(std::chrono::nanoseconds timeout) = 0;
   /// `adaptive_share` > 0 scales the drain toward max_items when the intake
   /// is backed up and toward 1 when lightly loaded, evaluated on the depth
   /// observed at pop time (after any blocking wait); 0 always drains up to
@@ -210,8 +248,12 @@ class SingleQueueIntake final : public Intake<T> {
  public:
   explicit SingleQueueIntake(std::size_t capacity) : queue_(capacity) {}
 
-  bool try_push(T item) override { return queue_.try_push(std::move(item)); }
+  using Intake<T>::try_push;
+  bool try_push(T&& item) override { return queue_.try_push(std::move(item)); }
   bool wait_for_space() override { return queue_.wait_for_space(); }
+  SpaceWait wait_for_space_for(std::chrono::nanoseconds timeout) override {
+    return queue_.wait_for_space_for(timeout);
+  }
   std::size_t pop_batch(std::size_t /*worker_index*/, std::vector<T>& out,
                         std::size_t max_items, std::size_t adaptive_share,
                         bool* stolen) override {

@@ -44,6 +44,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -71,7 +72,8 @@ class ShardedQueue final : public Intake<T> {
     if (shard_capacity_ == 0) shard_capacity_ = 1;
   }
 
-  bool try_push(T item) override {
+  using Intake<T>::try_push;
+  bool try_push(T&& item) override {
     if (closed_.load()) return false;
     const std::uint64_t ticket = next_ticket_.fetch_add(1);
     const std::size_t n = shards_.size();
@@ -104,6 +106,16 @@ class ShardedQueue final : public Intake<T> {
     space_cv_.wait(lock, [&] { return closed_.load() || has_space(); });
     --space_sleepers_;
     return !closed_.load();
+  }
+
+  SpaceWait wait_for_space_for(std::chrono::nanoseconds timeout) override {
+    std::unique_lock<std::mutex> lock(park_mutex_);
+    ++space_sleepers_;
+    const bool woken = space_cv_.wait_for(
+        lock, timeout, [&] { return closed_.load() || has_space(); });
+    --space_sleepers_;
+    if (!woken) return SpaceWait::kTimeout;
+    return closed_.load() ? SpaceWait::kClosed : SpaceWait::kReady;
   }
 
   std::size_t pop_batch(std::size_t worker_index, std::vector<T>& out,

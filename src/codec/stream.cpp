@@ -1,8 +1,69 @@
 #include "codec/stream.hpp"
 
+#include <sstream>
+
+#include "util/serialize.hpp"
+
 namespace nc::codec {
 
 namespace {
+
+// --- spill codecs -----------------------------------------------------------
+// Raw (uncompressed) serializers for the overflow tier: spilling exists
+// precisely because the encoder cannot keep up, so the bytes written under
+// pressure must cost no model forwards.  Caps mirror CompressedWedge
+// deserialization: corrupt spill payloads throw SerializeError (the drainer
+// counts them as failed) instead of driving giant allocations.
+
+constexpr std::int64_t kMaxSpillDim = std::int64_t{1} << 20;
+constexpr std::int64_t kMaxSpillElems = std::int64_t{1} << 28;
+
+std::string encode_wedge_spill(const core::Tensor& wedge) {
+  std::ostringstream os;
+  const auto& shape = wedge.shape();
+  util::write_u64(os, shape.size());
+  for (const auto d : shape) util::write_i64(os, d);
+  util::write_bytes(os, wedge.data(),
+                    static_cast<std::size_t>(wedge.numel()) * sizeof(float));
+  return os.str();
+}
+
+core::Tensor decode_wedge_spill(const std::string& bytes) {
+  std::istringstream is(bytes);
+  const std::uint64_t rank = util::read_u64(is);
+  if (rank > 8) {
+    throw util::SerializeError("spilled wedge rank implausible: " +
+                               std::to_string(rank));
+  }
+  core::Shape shape(rank);
+  std::int64_t numel = 1;
+  for (auto& d : shape) {
+    d = util::read_i64(is);
+    if (d <= 0 || d > kMaxSpillDim) {
+      throw util::SerializeError("spilled wedge dim implausible: " +
+                                 std::to_string(d));
+    }
+    if (numel > kMaxSpillElems / d) {
+      throw util::SerializeError("spilled wedge element count implausible");
+    }
+    numel *= d;
+  }
+  core::Tensor wedge(std::move(shape));
+  util::read_bytes(is, wedge.data(),
+                   static_cast<std::size_t>(numel) * sizeof(float));
+  return wedge;
+}
+
+std::string encode_compressed_spill(const CompressedWedge& cw) {
+  std::ostringstream os;
+  cw.serialize(os);
+  return os.str();
+}
+
+CompressedWedge decode_compressed_spill(const std::string& bytes) {
+  std::istringstream is(bytes);
+  return CompressedWedge::deserialize(is);
+}
 
 StreamPipeline<core::Tensor, CompressedWedge>::BatchFn compress_fn(
     BcaeCodec& codec) {
@@ -31,7 +92,7 @@ StreamCompressor::StreamCompressor(BcaeCodec& codec,
                                    const StreamOptions& options, SeqSink sink)
     : pipeline_(options, compress_fn(codec),
                 [](const CompressedWedge& cw) { return cw.payload_bytes(); },
-                std::move(sink)) {}
+                std::move(sink), {encode_wedge_spill, decode_wedge_spill}) {}
 
 StreamCompressor::StreamCompressor(BcaeCodec& codec,
                                    const StreamOptions& options, Sink sink)
@@ -59,8 +120,8 @@ StreamCompressor::StreamCompressor(BcaeCodec& codec, std::size_t queue_capacity,
 StreamDecompressor::StreamDecompressor(BcaeCodec& codec,
                                        const StreamOptions& options,
                                        SeqSink sink)
-    : pipeline_(options, decompress_fn(codec), decoded_bytes,
-                std::move(sink)) {}
+    : pipeline_(options, decompress_fn(codec), decoded_bytes, std::move(sink),
+                {encode_compressed_spill, decode_compressed_spill}) {}
 
 StreamDecompressor::StreamDecompressor(BcaeCodec& codec,
                                        const StreamOptions& options, Sink sink)

@@ -13,7 +13,11 @@
 /// optional in-order emission, failure containment and idempotent finish()).
 /// Both directions inherit the sharded intake and its steal/depth
 /// observability (`StreamStats::batches_stolen` / `queue_depth_hwm`) for
-/// free, since the intake lives below the transform.
+/// free, since the intake lives below the transform.  They likewise both
+/// support the lossless spill tier (`StreamOptions::spill_dir`,
+/// spill.hpp): the write side spills raw fp32 wedges, the read side spills
+/// serialized CompressedWedge bytes, and in either case a burst beyond the
+/// intake bound lands on disk and is replayed — `wedges_dropped` stays 0.
 #pragma once
 
 #include <cstdint>

@@ -47,6 +47,23 @@
 ///  * A transform failure (throw, or wrong output count) drops the whole
 ///    batch into `wedges_failed` without killing the worker (a dead worker
 ///    turns blocking submits into a deadlock) or stalling the ordered cursor.
+///  * Spill tier (`StreamOptions::spill_dir`, off by default): when a submit
+///    finds the intake full — and, with `spill_deadline_s`, space has not
+///    appeared within the deadline — the item is serialized raw into an
+///    append-only on-disk log (spill.hpp) instead of being dropped, keeping
+///    its already-reserved sequence number.  A drainer thread replays
+///    spilled items back into the intake (oldest first — spill appends are
+///    serialized under the submit mutex, so spill order is seq order)
+///    whenever depth falls to `spill_low_water`, and `finish()` replays
+///    everything left before closing the intake, so backpressure is
+///    lossless: `wedges_dropped` stays 0 unless the spill itself fails
+///    (unwritable disk, `spill_max_bytes` quota — the disk-full containment
+///    path) or the pipeline is already finishing.  Replayed items re-enter
+///    the intake out of arrival order relative to fresh submissions; the
+///    ordered mode tolerates that (the reorder gate keys on the true batch
+///    minimum, and the gate escape keeps a bounded buffer live while the
+///    next-to-emit item is still on disk), at the cost of reorder-buffer
+///    overshoot proportional to the spilled backlog in the worst case.
 ///  * `finish()` is idempotent (atomic exchange) and safe to call from any
 ///    thread, including implicitly via the destructor after an explicit
 ///    `finish()`.
@@ -59,6 +76,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -72,7 +90,9 @@
 
 #include "codec/intake.hpp"
 #include "codec/sharded_queue.hpp"
+#include "codec/spill.hpp"
 #include "util/logging.hpp"
+#include "util/serialize.hpp"
 #include "util/timer.hpp"
 
 namespace nc::codec {
@@ -95,6 +115,28 @@ struct StreamOptions {
   /// Scale each worker's drain batch with intake depth: up to batch_size
   /// when backed up, down to 1 when lightly loaded (bounded latency).
   bool adaptive_batch = true;
+  /// Spill tier: when non-empty, submits that would drop on a full intake
+  /// are serialized into segment files under this directory instead
+  /// (lossless backpressure) and replayed once depth falls back to
+  /// spill_low_water.  Requires a SpillCodec at pipeline construction.
+  /// Give each pipeline its own directory (segments are instance-prefixed,
+  /// so sharing one merely mixes unrelated files).
+  std::string spill_dir;
+  /// Spill enabled: how long a submit may wait for intake space before
+  /// diverting to disk (0 = spill immediately).  Applies to try_submit and
+  /// submit alike — with a spill tier, even the blocking submit never
+  /// blocks past the deadline.
+  double spill_deadline_s = 0.0;
+  /// Replay threshold: the drainer re-injects spilled items whenever intake
+  /// depth is at or below this (0 = half the effective intake capacity).
+  std::size_t spill_low_water = 0;
+  /// Cap on on-disk spill bytes (0 = unbounded).  An append that would
+  /// exceed it fails that wedge into wedges_dropped — the disk-full
+  /// containment path — without poisoning the tier.
+  std::size_t spill_max_bytes = 0;
+  /// Keep fully-replayed spill segments on disk after finish() (audit /
+  /// replay-after-close via SpillReader) instead of deleting as they drain.
+  bool spill_keep = false;
 };
 
 /// Per-worker accounting, reported in StreamStats::per_worker.  The counter
@@ -116,6 +158,9 @@ struct StreamStats {
   std::int64_t wedges_failed = 0;    ///< accepted but lost to a transform error
   std::int64_t payload_bytes = 0;
   std::int64_t batches_stolen = 0;   ///< pops served off-shard for a dry shard
+  std::int64_t wedges_spilled = 0;   ///< diverted to the spill tier on a full intake
+  std::int64_t wedges_replayed = 0;  ///< spilled wedges re-injected into the intake
+  std::int64_t spill_bytes_hwm = 0;  ///< deepest the on-disk spill tier ever got
   std::int64_t queue_depth_hwm = 0;  ///< deepest the intake ever got
   /// Effective intake capacity: queue_capacity, rounded up to a shard
   /// multiple by the sharded intake (the bound queue_depth_hwm runs under).
@@ -178,14 +223,45 @@ class StreamPipeline {
   /// Per-output byte accounting for StreamStats::payload_bytes (may be null).
   using ByteCounter = std::function<std::int64_t(const Out&)>;
 
+  /// Raw serializer pair for the spill tier: encode turns an input item
+  /// into the record payload SpillLog stores, decode inverts it on replay.
+  /// Only consulted when StreamOptions::spill_dir is set.
+  struct SpillCodec {
+    std::function<std::string(const In&)> encode;
+    std::function<In(const std::string&)> decode;
+    explicit operator bool() const {
+      return static_cast<bool>(encode) && static_cast<bool>(decode);
+    }
+  };
+
   StreamPipeline(const StreamOptions& options, BatchFn transform,
-                 ByteCounter payload_bytes, SeqSink sink)
+                 ByteCounter payload_bytes, SeqSink sink,
+                 SpillCodec spill_codec = {})
       : options_(detail::normalized_stream_options(options)),
         transform_(std::move(transform)),
         payload_bytes_(std::move(payload_bytes)),
         sink_(std::move(sink)),
+        spill_codec_(std::move(spill_codec)),
         intake_(detail::make_intake<Item>(options_)),
         workers_alive_(options_.n_workers) {
+    // Stand the spill tier up before any thread exists: a SpillLog failure
+    // (unwritable dir) must abort construction cleanly, not orphan workers.
+    if (!options_.spill_dir.empty()) {
+      if (!spill_codec_) {
+        throw std::invalid_argument(
+            "StreamPipeline: spill_dir set but no spill codec provided");
+      }
+      SpillOptions sopt;
+      sopt.dir = options_.spill_dir;
+      sopt.max_bytes = options_.spill_max_bytes;
+      sopt.keep = options_.spill_keep;
+      spill_ = std::make_unique<SpillLog>(sopt);
+      spill_low_water_ =
+          options_.spill_low_water != 0
+              ? std::min(options_.spill_low_water, intake_->capacity())
+              : intake_->capacity() / 2;
+      drainer_ = std::thread([this] { drainer_loop(); });
+    }
     worker_stats_.resize(options_.n_workers);
     workers_.reserve(options_.n_workers);
     for (std::size_t w = 0; w < options_.n_workers; ++w) {
@@ -198,38 +274,44 @@ class StreamPipeline {
   StreamPipeline(const StreamPipeline&) = delete;
   StreamPipeline& operator=(const StreamPipeline&) = delete;
 
-  /// Non-blocking submit with backpressure accounting.
+  /// Non-blocking submit with backpressure accounting.  With the spill
+  /// tier enabled, a full intake diverts the item to disk (after waiting up
+  /// to spill_deadline_s for space) instead of dropping it, so `false`
+  /// means the item is truly lost: spill failure or submit after finish.
   bool try_submit(In item) {
     // Counters update under the same lock as the push: a concurrent finish()
     // snapshot must never see a processed item missing from wedges_in.  The
     // lock also serializes pushes, so intake order matches seq order — the
     // property the ordered mode's progress argument rests on.
-    std::lock_guard<std::mutex> lock(submit_mutex_);
-    const bool accepted = intake_->try_push(Item{next_seq_, std::move(item)});
-    if (accepted) {
-      // Sequence numbers are only consumed by accepted items, so the ordered
-      // sink never waits on a gap left by a dropped one.
-      ++next_seq_;
-      wedges_in_.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      wedges_dropped_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(submit_mutex_);
+      if (!spill_) {
+        const bool accepted = push_locked(item);
+        if (!accepted) wedges_dropped_.fetch_add(1, std::memory_order_relaxed);
+        return accepted;
+      }
+      // A failed push leaves `item` intact for the spill path (try_push
+      // moves only on success).
+      if (push_locked(item)) return true;
     }
-    return accepted;
+    return spill_or_drop(std::move(item));
   }
 
-  /// Blocking submit (test/offline use).
+  /// Blocking submit (test/offline use).  With the spill tier enabled this
+  /// blocks at most spill_deadline_s before spilling — disk absorbs the
+  /// burst instead of the producer's latency.
   void submit(In item) {
+    if (spill_) {
+      (void)try_submit(std::move(item));
+      return;
+    }
     // Wait for space *outside* submit_mutex_: holding it across a blocking
     // push would stall concurrent try_submit callers (the real-time path)
     // behind an offline producer parked on a full intake.
     while (true) {
       {
         std::lock_guard<std::mutex> lock(submit_mutex_);
-        if (intake_->try_push(Item{next_seq_, item})) {
-          ++next_seq_;
-          wedges_in_.fetch_add(1, std::memory_order_relaxed);
-          return;
-        }
+        if (push_locked(item)) return;
       }
       if (!intake_->wait_for_space()) {
         // Intake closed (submit after finish); the item is lost and must
@@ -246,6 +328,25 @@ class StreamPipeline {
   StreamStats finish() {
     std::lock_guard<std::mutex> lock(finish_mutex_);
     if (!finished_.exchange(true)) {
+      if (spill_) {
+        // Seal the spill tier before draining it: once spill_closed_ is
+        // observed (under submit_mutex_, mutually exclusive with every
+        // append), a late submit drops instead of spilling into a log
+        // nobody will replay.  Only then may the drainer's final sweep
+        // treat "pending == 0" as terminal.
+        {
+          std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+          spill_closed_ = true;
+        }
+        {
+          std::lock_guard<std::mutex> drainer_lock(drainer_mutex_);
+          final_drain_ = true;
+        }
+        drainer_cv_.notify_all();
+        if (drainer_.joinable()) drainer_.join();
+        merged_.spill_bytes_hwm = static_cast<std::int64_t>(spill_->bytes_hwm());
+        spill_->close();
+      }
       intake_->close();
       for (auto& worker : workers_) {
         if (worker.joinable()) worker.join();
@@ -270,8 +371,10 @@ class StreamPipeline {
       std::lock_guard<std::mutex> submit_lock(submit_mutex_);
       out.wedges_in = wedges_in_.load(std::memory_order_relaxed);
       out.wedges_dropped = wedges_dropped_.load(std::memory_order_relaxed);
+      out.wedges_spilled = wedges_spilled_.load(std::memory_order_relaxed);
     }
     out.wedges_failed = wedges_failed_.load(std::memory_order_relaxed);
+    out.wedges_replayed = wedges_replayed_.load(std::memory_order_relaxed);
     return out;
   }
 
@@ -283,6 +386,168 @@ class StreamPipeline {
     std::uint64_t seq = 0;
     In value;
   };
+
+  /// Push under submit_mutex_ (caller holds it); true when accepted.  The
+  /// item is moved into the intake on success and restored on failure —
+  /// no deep copy on either path, so retry loops (blocking submit, the
+  /// spill deadline wait) and the spill fallback stay cheap.
+  bool push_locked(In& item) {
+    Item queued{next_seq_, std::move(item)};
+    if (!intake_->try_push(std::move(queued))) {
+      item = std::move(queued.value);  // failed push left `queued` intact
+      return false;
+    }
+    ++next_seq_;
+    wedges_in_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Slow path of a spill-enabled submit whose first push failed: wait up
+  /// to the deadline for intake space, then serialize to the spill log.
+  /// Returns false only when the item is truly lost (counted dropped).
+  bool spill_or_drop(In&& item) {
+    using clock = std::chrono::steady_clock;
+    if (options_.spill_deadline_s > 0) {
+      const auto deadline =
+          clock::now() + std::chrono::duration_cast<clock::duration>(
+                             std::chrono::duration<double>(
+                                 options_.spill_deadline_s));
+      while (true) {
+        const auto now = clock::now();
+        if (now >= deadline) break;
+        const SpaceWait wait = intake_->wait_for_space_for(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(deadline -
+                                                                 now));
+        if (wait == SpaceWait::kClosed) break;  // finishing: drop below
+        std::lock_guard<std::mutex> lock(submit_mutex_);
+        if (push_locked(item)) return true;
+        // kTimeout still retries the push once (space may have appeared
+        // between the wait expiring and the lock), then falls out.
+        if (wait == SpaceWait::kTimeout) break;
+      }
+    }
+    // Serialize outside submit_mutex_ — encoding is the CPU-heavy part and
+    // must not stall concurrent real-time submitters.
+    std::string bytes;
+    try {
+      bytes = spill_codec_.encode(item);
+    } catch (const std::exception& e) {
+      NC_LOG_WARN << "spill encode failed, wedge dropped: " << e.what();
+      wedges_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    // Late space beats disk; also re-checked here because the deadline wait
+    // ran unlocked.
+    if (push_locked(item)) return true;
+    if (spill_closed_) {
+      // finish() already sealed the tier: a spilled record would never be
+      // replayed, so this is a drop, exactly like submit-after-close.
+      wedges_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    try {
+      // Appends run under submit_mutex_ — deliberately, although that puts
+      // a disk write on the overflow path of concurrent submitters: the
+      // append must be atomic with the spill_closed_ check above (a record
+      // landing after finish()'s final drain sweep would be silently lost)
+      // and with seq consumption (consumed only on success, so a failed
+      // append leaves no gap for the ordered cursor to hang on).  It also
+      // makes record order seq order, keeping replay oldest-first.  Only
+      // the pre-encoded bytes are written here; the CPU-heavy encode ran
+      // outside the lock.
+      spill_->append(next_seq_, bytes);
+    } catch (const util::SerializeError& e) {
+      NC_LOG_WARN << "spill append failed, wedge dropped: " << e.what();
+      wedges_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    ++next_seq_;
+    wedges_in_.fetch_add(1, std::memory_order_relaxed);
+    wedges_spilled_.fetch_add(1, std::memory_order_relaxed);
+    {
+      // Notify under drainer_mutex_: an idle drainer waits indefinitely,
+      // so this wakeup must not race past its pending-count check.
+      std::lock_guard<std::mutex> drainer_lock(drainer_mutex_);
+      drainer_cv_.notify_all();
+    }
+    return true;
+  }
+
+  /// True when the drainer should replay now: something is pending and
+  /// either the pipeline is finishing or the intake has drained to the
+  /// low-water mark.
+  bool should_replay_locked() const {  ///< caller holds drainer_mutex_
+    return spill_->pending() > 0 &&
+           (final_drain_ || intake_->size() <= spill_low_water_);
+  }
+
+  /// Spill drainer: with nothing pending it parks indefinitely (a spill
+  /// append or finish() wakes it — both notify under drainer_mutex_, so
+  /// the wakeup cannot slip between the pending check and the wait); with
+  /// a backlog it polls on a 1 ms tick, because workers draining the
+  /// intake past the low-water mark emit no push-side signal.  Exits once
+  /// finish() has sealed the tier and the backlog is gone.
+  void drainer_loop() {
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(drainer_mutex_);
+        if (final_drain_ && spill_->pending() == 0) return;
+        if (!should_replay_locked()) {
+          if (spill_->pending() == 0) {
+            drainer_cv_.wait(lock, [&] {
+              return final_drain_ || spill_->pending() > 0;
+            });
+          } else {
+            drainer_cv_.wait_for(lock, std::chrono::milliseconds(1));
+          }
+          continue;
+        }
+      }
+      replay_one();
+    }
+  }
+
+  /// Re-inject the oldest spilled item into the intake under its original
+  /// sequence number.  A record that fails to read back or decode is
+  /// accounted like a transform failure — counted and, in ordered mode,
+  /// skipped — so a corrupt spill can never wedge the emit cursor.
+  void replay_one() {
+    const auto rec = spill_->pop();
+    if (!rec) return;
+    if (!rec->ok) {
+      NC_LOG_WARN << "spill record for item " << rec->seq
+                  << " unreadable, counted as failed";
+      fail_replayed(rec->seq);
+      return;
+    }
+    In value;
+    try {
+      value = spill_codec_.decode(rec->payload);
+    } catch (const std::exception& e) {
+      NC_LOG_WARN << "spill decode failed for item " << rec->seq << ": "
+                  << e.what();
+      fail_replayed(rec->seq);
+      return;
+    }
+    // The intake only closes after this thread is joined, so the wait can
+    // fail only on a logic error upstream; treat it like a lost record
+    // rather than hanging or leaking the seq.  A failed try_push leaves
+    // `queued` intact, so the retry loop never re-reads or copies.
+    Item queued{rec->seq, std::move(value)};
+    while (!intake_->try_push(std::move(queued))) {
+      if (!intake_->wait_for_space()) {
+        fail_replayed(rec->seq);
+        return;
+      }
+    }
+    wedges_replayed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void fail_replayed(std::uint64_t seq) {
+    wedges_failed_.fetch_add(1, std::memory_order_relaxed);
+    skip_seqs({seq});
+  }
 
   void enter_busy() {
     std::lock_guard<std::mutex> lock(busy_mutex_);
@@ -297,8 +562,10 @@ class StreamPipeline {
   /// Ordered mode: block while the reorder buffer is at capacity, unless
   /// this batch can advance the emit cursor (its minimum sequence number is
   /// at or below next_emit_) — that batch must always pass or nothing would
-  /// ever drain.  Sequence numbers within a batch are ascending (FIFO pop
-  /// within its source shard), so seqs.front() is the minimum.
+  /// ever drain.  Without the spill tier a batch's sequence numbers are
+  /// ascending (FIFO pop within its source shard) and seqs.front() is the
+  /// minimum; a replayed spill item re-enters the intake with an *older*
+  /// seq than its shard neighbours, so callers pass the true minimum.
   ///
   /// Gate escape: with a sharded intake, pops are not globally FIFO, so the
   /// next-to-emit item can still sit in a shard while every live worker
@@ -329,7 +596,8 @@ class StreamPipeline {
       return;
     }
     std::unique_lock<std::mutex> lock(reorder_mutex_);
-    wait_for_reorder_space_locked(lock, seqs.front());
+    wait_for_reorder_space_locked(lock,
+                                  *std::min_element(seqs.begin(), seqs.end()));
     for (std::size_t i = 0; i < outputs.size(); ++i) {
       reorder_.emplace(seqs[i], std::move(outputs[i]));
     }
@@ -341,7 +609,8 @@ class StreamPipeline {
     std::unique_lock<std::mutex> lock(reorder_mutex_);
     // Skips occupy reorder slots too (they hold the cursor open), so they
     // respect the same capacity bound as real outputs.
-    wait_for_reorder_space_locked(lock, seqs.front());
+    wait_for_reorder_space_locked(lock,
+                                  *std::min_element(seqs.begin(), seqs.end()));
     for (const auto seq : seqs) {
       // Defensive: today callers only skip never-emitted batches, but a seq
       // below the emit cursor would wedge the buffer on a key that can never
@@ -468,6 +737,7 @@ class StreamPipeline {
   BatchFn transform_;
   ByteCounter payload_bytes_;
   SeqSink sink_;
+  SpillCodec spill_codec_;
   std::unique_ptr<Intake<Item>> intake_;
 
   // Intake sequencing: the mutex makes seq numbers match submission order.
@@ -476,6 +746,19 @@ class StreamPipeline {
   std::atomic<std::int64_t> wedges_in_{0};
   std::atomic<std::int64_t> wedges_dropped_{0};
   std::atomic<std::int64_t> wedges_failed_{0};
+
+  // Spill tier (null when disabled).  spill_closed_ is guarded by
+  // submit_mutex_ (sealed by finish() before the final drain, mutually
+  // exclusive with every append); final_drain_ by drainer_mutex_.
+  std::unique_ptr<SpillLog> spill_;
+  std::size_t spill_low_water_ = 0;
+  bool spill_closed_ = false;
+  std::mutex drainer_mutex_;
+  std::condition_variable drainer_cv_;
+  bool final_drain_ = false;
+  std::thread drainer_;
+  std::atomic<std::int64_t> wedges_spilled_{0};
+  std::atomic<std::int64_t> wedges_replayed_{0};
 
   // Busy-interval union: a clock that runs while >=1 worker is busy.
   std::mutex busy_mutex_;

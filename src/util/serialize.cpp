@@ -1,5 +1,6 @@
 #include "util/serialize.hpp"
 
+#include <array>
 #include <cstring>
 
 namespace nc::util {
@@ -60,6 +61,22 @@ void read_bytes(std::istream& is, void* data, std::size_t n) {
   if (is.gcount() != static_cast<std::streamsize>(n)) {
     throw SerializeError("unexpected end of stream");
   }
+}
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = ~seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  return ~crc;
 }
 
 void write_magic(std::ostream& os, const char kind[4], std::uint32_t version) {

@@ -65,6 +65,11 @@ std::vector<T> read_pod_vector(std::istream& is) {
   return v;
 }
 
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `n` bytes.
+/// Pass a previous return value as `seed` to chain buffers (zlib-style);
+/// start with 0.  Used for per-record integrity in the spill tier.
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
 /// Write a magic header ("NCMP" + 4-char kind) and format version.
 void write_magic(std::ostream& os, const char kind[4], std::uint32_t version);
 

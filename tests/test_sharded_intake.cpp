@@ -8,13 +8,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "codec/sharded_queue.hpp"
 #include "codec/stream_pipeline.hpp"
+#include "tests/stream_test_utils.hpp"
 
 namespace {
 
@@ -23,7 +23,9 @@ using nc::codec::ShardedQueue;
 using nc::codec::StealPolicy;
 using nc::codec::StreamOptions;
 using nc::codec::StreamPipeline;
-using IntPipeline = StreamPipeline<int, int>;
+using nc::testutil::IntPipeline;
+using nc::testutil::spin_until;
+using nc::testutil::StallLatch;
 
 // ---------------------------------------------------------------------------
 // ShardedQueue as a concurrent container
@@ -201,17 +203,12 @@ TEST(ShardedIntakePipeline, SiblingsStealAStalledWorkersBacklog) {
   opt.batch_size = 1;
   opt.n_workers = 2;
 
-  std::mutex stall_mutex;
-  std::condition_variable stall_cv;
-  bool release = false;
+  StallLatch stall;
   std::atomic<int> completed{0};
   IntPipeline pipeline(
       opt,
       [&](std::vector<int>&& in) {
-        if (in.front() == 0) {
-          std::unique_lock<std::mutex> lock(stall_mutex);
-          stall_cv.wait(lock, [&] { return release; });
-        }
+        if (in.front() == 0) stall.wait();
         completed.fetch_add(static_cast<int>(in.size()));
         return std::move(in);
       },
@@ -220,16 +217,10 @@ TEST(ShardedIntakePipeline, SiblingsStealAStalledWorkersBacklog) {
   const int n = 16;
   for (int i = 0; i < n; ++i) pipeline.submit(i);
   // Everything except the stalled wedge must complete without the release.
-  for (int spin = 0; spin < 1000 && completed.load() < n - 1; ++spin) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
+  EXPECT_TRUE(spin_until([&] { return completed.load() >= n - 1; }));
   EXPECT_EQ(completed.load(), n - 1);
 
-  {
-    std::lock_guard<std::mutex> lock(stall_mutex);
-    release = true;
-  }
-  stall_cv.notify_all();
+  stall.release();
   const auto stats = pipeline.finish();
   EXPECT_EQ(stats.wedges_compressed, n);
   EXPECT_EQ(stats.wedges_failed, 0);

@@ -1,0 +1,478 @@
+/// Spill tier: the segmented on-disk overflow log (SpillLog/SpillReader)
+/// and its integration into StreamPipeline.
+///
+/// Two layers under test.  (1) The log itself, with fault injection:
+/// truncated/short-written segments, flipped CRC bytes, unknown format
+/// versions and a full disk must all surface as SerializeError or counted
+/// drops — never UB, silent garbage, or a hung pipeline.  (2) The lossless
+/// backpressure contract: a burst far beyond the intake bound completes
+/// with zero drops, every spilled wedge replayed, and ordered output
+/// bit-identical to an unbounded run — under both intake layers (the spill
+/// drainer races workers, producers and finish(), so this suite also runs
+/// under TSan in CI).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "codec/spill.hpp"
+#include "codec/stream.hpp"
+#include "codec/stream_pipeline.hpp"
+#include "tests/stream_test_utils.hpp"
+#include "util/serialize.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using nc::codec::BcaeCodec;
+using nc::codec::CompressedWedge;
+using nc::codec::SpillLog;
+using nc::codec::SpillOptions;
+using nc::codec::SpillReader;
+using nc::codec::SpillRecord;
+using nc::codec::StreamCompressor;
+using nc::codec::StreamOptions;
+using nc::core::Mode;
+using nc::core::Tensor;
+using nc::testutil::IntPipeline;
+using nc::testutil::raw_wedge;
+using nc::util::SerializeError;
+
+/// Fresh per-test scratch directory under the gtest temp root (unique per
+/// suite instantiation so parallel ctest runs never collide).
+std::string fresh_dir() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string name = std::string(info->test_suite_name()) + "-" + info->name();
+  std::replace(name.begin(), name.end(), '/', '-');
+  const std::string dir = ::testing::TempDir() + "nc-spill-" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string payload_for(int i) {
+  // Variable lengths so offsets aren't accidentally aligned.
+  return std::string(static_cast<std::size_t>(7 + i % 5),
+                     static_cast<char>('a' + i % 26)) +
+         std::to_string(i);
+}
+
+/// Segment files currently in `dir`, oldest first (the %06zu numbering
+/// sorts lexicographically).
+std::vector<std::string> segment_files(const std::string& dir) {
+  std::vector<std::string> out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".seg") out.push_back(entry.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Spill codec for the synthetic int pipeline.
+IntPipeline::SpillCodec int_spill_codec() {
+  return {[](const int& v) {
+            return std::string(reinterpret_cast<const char*>(&v), sizeof(int));
+          },
+          [](const std::string& s) {
+            if (s.size() != sizeof(int)) {
+              throw SerializeError("spilled int payload size mismatch");
+            }
+            int v = 0;
+            std::memcpy(&v, s.data(), sizeof(int));
+            return v;
+          }};
+}
+
+// ---------------------------------------------------------------------------
+// SpillLog as a disk-backed FIFO
+// ---------------------------------------------------------------------------
+
+TEST(SpillLog, RoundTripsRecordsInFifoOrder) {
+  SpillOptions opt;
+  opt.dir = fresh_dir();
+  SpillLog log(opt);
+  const int n = 25;
+  for (int i = 0; i < n; ++i) log.append(static_cast<std::uint64_t>(i), payload_for(i));
+  EXPECT_EQ(log.pending(), static_cast<std::size_t>(n));
+  EXPECT_GT(log.bytes_hwm(), 0u);
+  for (int i = 0; i < n; ++i) {
+    const auto rec = log.pop();
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_TRUE(rec->ok);
+    EXPECT_EQ(rec->seq, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(rec->payload, payload_for(i));
+  }
+  EXPECT_EQ(log.pending(), 0u);
+  EXPECT_FALSE(log.pop().has_value());
+}
+
+TEST(SpillLog, SegmentsRollAndDrainedOnesAreReaped) {
+  SpillOptions opt;
+  opt.dir = fresh_dir();
+  opt.segment_bytes = 64;  // a couple of records per segment
+  SpillLog log(opt);
+  const int n = 20;
+  for (int i = 0; i < n; ++i) log.append(static_cast<std::uint64_t>(i), payload_for(i));
+  EXPECT_GT(log.segment_paths().size(), 3u);  // rolling actually happened
+  for (int i = 0; i < n; ++i) {
+    const auto rec = log.pop();
+    ASSERT_TRUE(rec.has_value() && rec->ok);
+    EXPECT_EQ(rec->payload, payload_for(i));  // FIFO across segment boundaries
+  }
+  // Drained non-tail segments were deleted as replay progressed; at most
+  // the write tail remains until close().
+  EXPECT_LE(log.segment_paths().size(), 1u);
+  log.close();
+  EXPECT_TRUE(segment_files(opt.dir).empty());
+}
+
+TEST(SpillLog, QuotaExceededThrowsAndLeavesLogUsable) {
+  SpillOptions opt;
+  opt.dir = fresh_dir();
+  const std::string payload = payload_for(0);
+  // Room for the header plus exactly two records.
+  opt.max_bytes = 12 + 2 * (20 + payload.size());
+  SpillLog log(opt);
+  log.append(0, payload);
+  log.append(1, payload);
+  EXPECT_THROW(log.append(2, payload), SerializeError);
+  // The over-quota append left everything already spilled intact…
+  auto rec = log.pop();
+  ASSERT_TRUE(rec.has_value() && rec->ok);
+  EXPECT_EQ(rec->seq, 0u);
+  rec = log.pop();
+  ASSERT_TRUE(rec.has_value() && rec->ok);
+  EXPECT_EQ(rec->seq, 1u);
+  EXPECT_EQ(log.pending(), 0u);
+}
+
+TEST(SpillLog, UnwritableDirThrowsSerializeError) {
+  const std::string dir = fresh_dir();
+  fs::create_directories(dir);
+  std::ofstream(dir + "/file").put('x');
+  SpillOptions opt;
+  opt.dir = dir + "/file/nested";  // a path under a regular file
+  EXPECT_THROW(SpillLog log(opt), SerializeError);
+}
+
+// ---------------------------------------------------------------------------
+// SpillReader fault injection
+// ---------------------------------------------------------------------------
+
+/// Write `n` records through a keep-mode SpillLog and return the single
+/// segment path (segment_bytes large enough not to roll).
+std::string write_kept_segment(const std::string& dir, int n) {
+  SpillOptions opt;
+  opt.dir = dir;
+  opt.keep = true;
+  SpillLog log(opt);
+  for (int i = 0; i < n; ++i) log.append(static_cast<std::uint64_t>(i), payload_for(i));
+  log.close();
+  const auto files = segment_files(dir);
+  EXPECT_EQ(files.size(), 1u);
+  return files.front();
+}
+
+TEST(SpillReader, RoundTripsAKeptSegmentBitExact) {
+  const std::string dir = fresh_dir();
+  const int n = 12;
+  const std::string path = write_kept_segment(dir, n);
+  SpillReader reader(path);
+  SpillRecord rec;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(reader.next(rec));
+    EXPECT_EQ(rec.seq, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(rec.payload, payload_for(i));
+  }
+  EXPECT_FALSE(reader.next(rec));  // clean EOF, not an error
+}
+
+TEST(SpillReader, TruncatedSegmentThrowsNotUB) {
+  const std::string dir = fresh_dir();
+  const std::string path = write_kept_segment(dir, 3);
+  // Chop into the last record's CRC; earlier records must still read.
+  fs::resize_file(path, fs::file_size(path) - 2);
+  SpillReader reader(path);
+  SpillRecord rec;
+  ASSERT_TRUE(reader.next(rec));
+  ASSERT_TRUE(reader.next(rec));
+  EXPECT_EQ(rec.payload, payload_for(1));
+  EXPECT_THROW(reader.next(rec), SerializeError);
+
+  // Chop mid-header too (a short write that died between fwrites).
+  fs::resize_file(path, 12 + 5);
+  SpillReader short_reader(path);
+  EXPECT_THROW(short_reader.next(rec), SerializeError);
+}
+
+TEST(SpillReader, FlippedPayloadByteFailsCrc) {
+  const std::string dir = fresh_dir();
+  const std::string path = write_kept_segment(dir, 1);
+  {
+    // Record starts after the 12-byte segment header; its payload after the
+    // 16-byte record header.
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(12 + 16);
+    char c = static_cast<char>(f.get());
+    f.seekp(12 + 16);
+    f.put(static_cast<char>(c ^ 0x40));
+  }
+  SpillReader reader(path);
+  SpillRecord rec;
+  EXPECT_THROW(reader.next(rec), SerializeError);
+}
+
+TEST(SpillReader, UnknownVersionRejected) {
+  const std::string dir = fresh_dir();
+  const std::string path = write_kept_segment(dir, 1);
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(8);  // the u32 version that follows "NCMP" "SPIL"
+    f.put(static_cast<char>(0x7F));
+  }
+  EXPECT_THROW(SpillReader reader(path), SerializeError);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline integration: lossless backpressure under both intake layers
+// ---------------------------------------------------------------------------
+
+class SpillPipelineIntake : public nc::testutil::IntakeParamTest {};
+
+NC_INSTANTIATE_BOTH_INTAKES(SpillPipelineIntake);
+
+TEST_P(SpillPipelineIntake, BurstBeyondCapacityCompletesWithoutDrops) {
+  // A burst of 4x the intake capacity, try_submitted back-to-back against
+  // deliberately slow workers: without the spill tier most of it would
+  // drop; with it the run must be lossless and, in ordered mode, emit the
+  // identity sequence.
+  StreamOptions opt = base_options();
+  opt.queue_capacity = 16;
+  opt.batch_size = 2;
+  opt.n_workers = 3;
+  opt.ordered = true;
+  opt.spill_dir = fresh_dir();
+  std::vector<std::uint64_t> seqs;
+  std::vector<int> values;
+  IntPipeline pipeline(
+      opt,
+      [](std::vector<int>&& in) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        return std::move(in);
+      },
+      nullptr,
+      [&](std::uint64_t seq, int&& v) {
+        seqs.push_back(seq);
+        values.push_back(v);
+      },
+      int_spill_codec());
+  const int n = 4 * 16;
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(pipeline.try_submit(i));  // accepted or spilled, never lost
+  }
+  const auto stats = pipeline.finish();
+  EXPECT_EQ(stats.wedges_in, n);
+  EXPECT_EQ(stats.wedges_dropped, 0);
+  EXPECT_EQ(stats.wedges_failed, 0);
+  EXPECT_EQ(stats.wedges_compressed, n);
+  EXPECT_GT(stats.wedges_spilled, 0);
+  EXPECT_EQ(stats.wedges_replayed, stats.wedges_spilled);
+  EXPECT_GT(stats.spill_bytes_hwm, 0);
+  nc::testutil::expect_ordered_identity(seqs, static_cast<std::uint64_t>(n));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(values[static_cast<std::size_t>(i)], i);  // payloads round-tripped
+  }
+  // Nothing left behind: the tier is transient unless spill_keep is set.
+  EXPECT_TRUE(!fs::exists(opt.spill_dir) || segment_files(opt.spill_dir).empty());
+}
+
+TEST_P(SpillPipelineIntake, DeadlineLetsWorkersCatchUpBeforeSpilling) {
+  // With a generous spill deadline and fast workers, a burst is absorbed by
+  // waiting — nothing should ever reach the disk.
+  StreamOptions opt = base_options();
+  opt.queue_capacity = 4;
+  opt.batch_size = 2;
+  opt.n_workers = 2;
+  opt.spill_dir = fresh_dir();
+  opt.spill_deadline_s = 5.0;
+  std::atomic<int> received{0};
+  IntPipeline pipeline(
+      opt, [](std::vector<int>&& in) { return std::move(in); }, nullptr,
+      [&](std::uint64_t, int&&) { received.fetch_add(1); }, int_spill_codec());
+  const int n = 64;
+  for (int i = 0; i < n; ++i) EXPECT_TRUE(pipeline.try_submit(i));
+  const auto stats = pipeline.finish();
+  EXPECT_EQ(stats.wedges_in, n);
+  EXPECT_EQ(stats.wedges_dropped, 0);
+  EXPECT_EQ(stats.wedges_spilled, 0);
+  EXPECT_EQ(received.load(), n);
+}
+
+TEST_P(SpillPipelineIntake, DiskFullSurfacesAsCountedDropsNotAHang) {
+  // A tiny spill quota simulates ENOSPC: the burst overflows the intake,
+  // some wedges spill, the rest are *counted* drops — and the pipeline
+  // still drains and finishes.
+  StreamOptions opt = base_options();
+  opt.queue_capacity = 8;
+  opt.batch_size = 2;
+  opt.n_workers = 2;
+  opt.ordered = true;
+  opt.spill_dir = fresh_dir();
+  opt.spill_max_bytes = 12 + 3 * (20 + sizeof(int));  // header + ~3 records
+  std::vector<std::uint64_t> seqs;
+  IntPipeline pipeline(
+      opt,
+      [](std::vector<int>&& in) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return std::move(in);
+      },
+      nullptr, [&](std::uint64_t seq, int&&) { seqs.push_back(seq); },
+      int_spill_codec());
+  const int n = 64;
+  int accepted = 0;
+  for (int i = 0; i < n; ++i) {
+    if (pipeline.try_submit(i)) ++accepted;
+  }
+  const auto stats = pipeline.finish();
+  EXPECT_EQ(stats.wedges_in, accepted);
+  EXPECT_GT(stats.wedges_spilled, 0);
+  EXPECT_GT(stats.wedges_dropped, 0);  // the quota bit, loudly
+  EXPECT_EQ(stats.wedges_dropped, n - accepted);
+  EXPECT_EQ(stats.wedges_replayed, stats.wedges_spilled);
+  EXPECT_EQ(stats.wedges_compressed, accepted);
+  // Ordered mode still emits every accepted seq in order: drops consumed no
+  // sequence numbers, so the stream has no holes to hang on.
+  nc::testutil::expect_ordered_identity(seqs,
+                                        static_cast<std::uint64_t>(accepted));
+}
+
+TEST_P(SpillPipelineIntake, SubmitAfterFinishCountsDroppedNotSpilled) {
+  // Regression: with the spill tier enabled, a submit after finish() must
+  // land in wedges_dropped — not spill into a file nobody will replay.
+  StreamOptions opt = base_options();
+  opt.queue_capacity = 4;
+  opt.n_workers = 2;
+  opt.spill_dir = fresh_dir();
+  IntPipeline pipeline(
+      opt, [](std::vector<int>&& in) { return std::move(in); }, nullptr,
+      [](std::uint64_t, int&&) {}, int_spill_codec());
+  for (int i = 0; i < 8; ++i) pipeline.submit(i);
+  const auto first = pipeline.finish();
+  EXPECT_EQ(first.wedges_dropped, 0);
+  pipeline.submit(99);
+  EXPECT_FALSE(pipeline.try_submit(100));
+  const auto stats = pipeline.finish();
+  EXPECT_EQ(stats.wedges_dropped, 2);
+  EXPECT_EQ(stats.wedges_in, 8);
+  // And no stray spill segments appeared for the rejected submits.
+  EXPECT_TRUE(!fs::exists(opt.spill_dir) || segment_files(opt.spill_dir).empty());
+}
+
+TEST_P(SpillPipelineIntake, KeptSegmentsReplayBitExactAfterClose) {
+  // spill_keep retains the segments a finished pipeline spilled; a
+  // SpillReader over them must reproduce the exact spilled payloads — the
+  // recovery path for a run that died before (or instead of) replaying.
+  StreamOptions opt = base_options();
+  opt.queue_capacity = 8;
+  opt.batch_size = 2;
+  opt.n_workers = 2;
+  opt.spill_dir = fresh_dir();
+  opt.spill_keep = true;
+  IntPipeline pipeline(
+      opt,
+      [](std::vector<int>&& in) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        return std::move(in);
+      },
+      nullptr, [](std::uint64_t, int&&) {}, int_spill_codec());
+  const int n = 48;
+  for (int i = 0; i < n; ++i) ASSERT_TRUE(pipeline.try_submit(i));
+  const auto stats = pipeline.finish();
+  ASSERT_GT(stats.wedges_spilled, 0);
+  EXPECT_EQ(stats.wedges_replayed, stats.wedges_spilled);
+
+  const auto codec = int_spill_codec();
+  std::int64_t replayed = 0;
+  for (const auto& path : segment_files(opt.spill_dir)) {
+    SpillReader reader(path);
+    SpillRecord rec;
+    while (reader.next(rec)) {
+      // Seq numbers double as the submitted values here, so the payload
+      // must decode to exactly its own seq.
+      EXPECT_EQ(codec.decode(rec.payload), static_cast<int>(rec.seq));
+      ++replayed;
+    }
+  }
+  EXPECT_EQ(replayed, stats.wedges_spilled);
+}
+
+// ---------------------------------------------------------------------------
+// Codec-level acceptance: ordered spilled output is bit-identical
+// ---------------------------------------------------------------------------
+
+TEST_P(SpillPipelineIntake, CompressorBurstMatchesUnboundedRunBitExact) {
+  // The acceptance criterion: a 4x-capacity burst through the real encoder
+  // with the spill tier on yields the same ordered bitstream as a run whose
+  // queue holds everything — spilling must be invisible downstream.
+  auto model = nc::bcae::make_bcae_ht(81);
+  BcaeCodec codec(model, Mode::kEval);
+  const int n = 32;
+
+  const auto run = [&](StreamOptions opt) {
+    std::map<std::uint64_t, CompressedWedge> out;  // ordered sink: no lock
+    StreamCompressor stream(codec, opt,
+                            [&](std::uint64_t seq, CompressedWedge&& cw) {
+                              out.emplace(seq, std::move(cw));
+                            });
+    for (int i = 0; i < n; ++i) {
+      EXPECT_TRUE(stream.try_submit(raw_wedge(static_cast<std::size_t>(i))));
+    }
+    return std::make_pair(stream.finish(), std::move(out));
+  };
+
+  StreamOptions burst = base_options();
+  burst.queue_capacity = 8;  // burst is 4x this
+  burst.batch_size = 2;
+  burst.n_workers = 2;
+  burst.ordered = true;
+  burst.spill_dir = fresh_dir();
+  const auto [bstats, bout] = run(burst);
+  EXPECT_EQ(bstats.wedges_in, n);
+  EXPECT_EQ(bstats.wedges_dropped, 0);
+  EXPECT_GT(bstats.wedges_spilled, 0);  // the burst really overflowed
+  EXPECT_EQ(bstats.wedges_replayed, bstats.wedges_spilled);
+  EXPECT_EQ(bstats.wedges_compressed, n);
+
+  StreamOptions unbounded = base_options();
+  unbounded.queue_capacity = 64;  // single queue holds the whole burst
+  unbounded.batch_size = 2;
+  unbounded.n_workers = 2;
+  unbounded.ordered = true;
+  const auto [ustats, uout] = run(unbounded);
+  EXPECT_EQ(ustats.wedges_spilled, 0);
+  EXPECT_EQ(ustats.wedges_compressed, n);
+
+  ASSERT_EQ(bout.size(), static_cast<std::size_t>(n));
+  ASSERT_EQ(uout.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto& a = bout.at(static_cast<std::uint64_t>(i));
+    const auto& b = uout.at(static_cast<std::uint64_t>(i));
+    EXPECT_EQ(a.wedge_shape, b.wedge_shape);
+    EXPECT_EQ(a.code_shape, b.code_shape);
+    ASSERT_EQ(a.code.size(), b.code.size());
+    EXPECT_EQ(std::memcmp(a.code.data(), b.code.data(),
+                          a.code.size() * sizeof(nc::util::half)),
+              0)
+        << "wedge " << i << " bitstream diverged";
+  }
+}
+
+}  // namespace

@@ -12,7 +12,7 @@
 
 #include "codec/bcae_codec.hpp"
 #include "codec/stream.hpp"
-#include "tpc/dataset.hpp"
+#include "tests/stream_test_utils.hpp"
 
 namespace {
 
@@ -24,38 +24,9 @@ using nc::codec::StreamDecompressor;
 using nc::codec::StreamOptions;
 using nc::core::Mode;
 using nc::core::Tensor;
-
-const nc::tpc::WedgeDataset& tiny_dataset() {
-  static const nc::tpc::WedgeDataset ds = [] {
-    nc::tpc::DatasetConfig cfg;
-    cfg.n_events = 2;
-    cfg.geometry.scale = 0.125;
-    cfg.train_fraction = 0.5;
-    return nc::tpc::WedgeDataset::generate(cfg);
-  }();
-  return ds;
-}
-
-Tensor raw_wedge(std::size_t i) {
-  const auto& ds = tiny_dataset();
-  return nc::tpc::clip_horizontal(ds.train().at(i), ds.valid_horiz());
-}
-
-/// Compress n wedges directly (no stream) as round-trip input.
-std::vector<CompressedWedge> compressed_wedges(const BcaeCodec& codec, int n) {
-  std::vector<CompressedWedge> out;
-  for (int i = 0; i < n; ++i) {
-    out.push_back(codec.compress(raw_wedge(static_cast<std::size_t>(i) % 8)));
-  }
-  return out;
-}
-
-void expect_bit_identical(const Tensor& a, const Tensor& b) {
-  ASSERT_EQ(a.shape(), b.shape());
-  for (std::int64_t i = 0; i < a.numel(); ++i) {
-    ASSERT_EQ(a[i], b[i]) << "voxel " << i;
-  }
-}
+using nc::testutil::compressed_wedges;
+using nc::testutil::expect_bit_identical;
+using nc::testutil::raw_wedge;
 
 TEST(BcaeCodec, DecompressBatchMatchesSingleDecompression) {
   auto model = nc::bcae::make_bcae_ht(67);
@@ -112,14 +83,9 @@ TEST(StreamDecompressor, UnorderedSingleWorkerMatchesDirectDecompress) {
 
 /// Multi-worker read-side contracts must hold for both intake layers (the
 /// shared queue and the sharded work-stealing intake).
-class StreamDecompressorIntake : public ::testing::TestWithParam<IntakeMode> {};
+class StreamDecompressorIntake : public nc::testutil::IntakeParamTest {};
 
-INSTANTIATE_TEST_SUITE_P(
-    BothIntakes, StreamDecompressorIntake,
-    ::testing::Values(IntakeMode::kSingleQueue, IntakeMode::kSharded),
-    [](const ::testing::TestParamInfo<IntakeMode>& info) {
-      return std::string(nc::codec::to_string(info.param));
-    });
+NC_INSTANTIATE_BOTH_INTAKES(StreamDecompressorIntake);
 
 TEST_P(StreamDecompressorIntake, UnorderedFourWorkersMatchesDirectDecompress) {
   auto model = nc::bcae::make_bcae_ht(73);

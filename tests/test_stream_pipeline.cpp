@@ -6,25 +6,28 @@
 /// both.  StreamCompressor / StreamDecompressor are thin adapters over this
 /// class — the codec-facing behavior lives in test_codec.cpp and
 /// test_stream_decompress.cpp; sharded-intake-specific behavior (stealing,
-/// backpressure across shards) lives in test_sharded_intake.cpp.
+/// backpressure across shards) lives in test_sharded_intake.cpp; the spill
+/// tier in test_spill.cpp.  Shared scaffolding: stream_test_utils.hpp.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "codec/stream_pipeline.hpp"
+#include "tests/stream_test_utils.hpp"
 
 namespace {
 
 using nc::codec::IntakeMode;
 using nc::codec::StreamOptions;
 using nc::codec::StreamPipeline;
-using IntPipeline = StreamPipeline<int, int>;
+using nc::testutil::IntPipeline;
+using nc::testutil::spin_until;
+using nc::testutil::StallLatch;
 
 /// Transform doubling every item; counts completed (returned) transforms.
 IntPipeline::BatchFn doubling(std::atomic<int>& completed) {
@@ -38,21 +41,9 @@ IntPipeline::BatchFn doubling(std::atomic<int>& completed) {
 }
 
 /// Every pipeline contract below must hold for both intake layers.
-class StreamPipelineIntake : public ::testing::TestWithParam<IntakeMode> {
- protected:
-  StreamOptions base_options() const {
-    StreamOptions opt;
-    opt.intake = GetParam();
-    return opt;
-  }
-};
+class StreamPipelineIntake : public nc::testutil::IntakeParamTest {};
 
-INSTANTIATE_TEST_SUITE_P(
-    BothIntakes, StreamPipelineIntake,
-    ::testing::Values(IntakeMode::kSingleQueue, IntakeMode::kSharded),
-    [](const ::testing::TestParamInfo<IntakeMode>& info) {
-      return std::string(nc::codec::to_string(info.param));
-    });
+NC_INSTANTIATE_BOTH_INTAKES(StreamPipelineIntake);
 
 TEST_P(StreamPipelineIntake, GenericTransformProcessesEverySubmission) {
   StreamOptions opt = base_options();
@@ -184,19 +175,14 @@ TEST_P(StreamPipelineIntake, ReorderCapacityBoundsBufferWithStalledWorker) {
   opt.ordered = true;
   opt.reorder_capacity = kCapacity;
 
-  std::mutex stall_mutex;
-  std::condition_variable stall_cv;
-  bool release = false;
+  StallLatch stall;
   std::atomic<int> completed{0};
 
   std::vector<std::uint64_t> seqs;
   IntPipeline pipeline(
       opt,
       [&](std::vector<int>&& in) {
-        if (in.front() == 0) {
-          std::unique_lock<std::mutex> lock(stall_mutex);
-          stall_cv.wait(lock, [&] { return release; });
-        }
+        if (in.front() == 0) stall.wait();
         completed.fetch_add(static_cast<int>(in.size()));
         return std::move(in);
       },
@@ -207,20 +193,14 @@ TEST_P(StreamPipelineIntake, ReorderCapacityBoundsBufferWithStalledWorker) {
   // The free worker can complete at most kCapacity buffered transforms plus
   // the one whose emit is parked on the full buffer.
   constexpr int kBound = static_cast<int>(kCapacity) + 1;
-  for (int spin = 0; spin < 500 && completed.load() < kBound; ++spin) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
+  EXPECT_TRUE(spin_until([&] { return completed.load() >= kBound; }, 500));
   EXPECT_EQ(completed.load(), kBound);
   // Hold the stall a little longer: without the capacity the free worker
   // would keep draining the intake into the reorder buffer unbounded.
   std::this_thread::sleep_for(std::chrono::milliseconds(150));
   EXPECT_EQ(completed.load(), kBound);
 
-  {
-    std::lock_guard<std::mutex> lock(stall_mutex);
-    release = true;
-  }
-  stall_cv.notify_all();
+  stall.release();
   const auto stats = pipeline.finish();
   EXPECT_EQ(stats.wedges_compressed, kItems);
   EXPECT_EQ(stats.wedges_failed, 0);
@@ -305,9 +285,7 @@ TEST(StreamPipeline, AdaptiveBatchingGrowsWithBacklog) {
   opt.n_workers = 1;
   ASSERT_TRUE(opt.adaptive_batch);  // the default under test
 
-  std::mutex stall_mutex;
-  std::condition_variable stall_cv;
-  bool release = false;
+  StallLatch stall;
   std::mutex sizes_mutex;
   std::vector<std::size_t> batch_sizes;
   StreamPipeline<int, int> pipeline(
@@ -318,21 +296,14 @@ TEST(StreamPipeline, AdaptiveBatchingGrowsWithBacklog) {
           batch_sizes.push_back(in.size());
         }
         for (const int v : in) {
-          if (v == 0) {
-            std::unique_lock<std::mutex> lock(stall_mutex);
-            stall_cv.wait(lock, [&] { return release; });
-          }
+          if (v == 0) stall.wait();
         }
         return std::move(in);
       },
       nullptr, [](std::uint64_t, int&&) {});
   const int n = 33;
   for (int i = 0; i < n; ++i) pipeline.submit(i);  // 32 queue behind the stall
-  {
-    std::lock_guard<std::mutex> lock(stall_mutex);
-    release = true;
-  }
-  stall_cv.notify_all();
+  stall.release();
   const auto stats = pipeline.finish();
   EXPECT_EQ(stats.wedges_compressed, n);
   std::size_t max_batch = 0;
