@@ -117,13 +117,13 @@ int main(int argc, char** argv) {
   }
 
   auto model = bcae::make_bcae_2d(bcae::Bcae2dConfig{}, 7);
-  codec::BcaeCodec wedge_codec(model, core::Mode::kEvalHalf);
+  codec::BcaeWedgeCodec wedge_codec(model, core::Mode::kEvalHalf);
   // Warm the fp16 weight caches (encoder and both decoder heads) so the
   // sweeps time steady-state throughput.
   (void)wedge_codec.decompress(wedge_codec.compress(wedges.front()));
 
   // The decode sweep replays pre-compressed wedges: storage -> analysis.
-  std::vector<codec::CompressedWedge> stored;
+  std::vector<codec::WedgeEnvelope> stored;
   for (const auto& w : wedges) stored.push_back(wedge_codec.compress(w));
 
   // One OpenMP thread per worker: scaling must come from the worker pool,
@@ -202,7 +202,7 @@ int main(int argc, char** argv) {
         // The unordered sink runs concurrently across workers: tally atomically.
         std::atomic<std::int64_t> bytes{0};
         codec::StreamCompressor stream(
-            wedge_codec, opt, [&bytes](codec::CompressedWedge&& cw) {
+            wedge_codec, opt, [&bytes](codec::WedgeEnvelope&& cw) {
               bytes.fetch_add(cw.payload_bytes(), std::memory_order_relaxed);
             });
         for (std::int64_t i = 0; i < n_wedges; ++i) {
@@ -243,7 +243,7 @@ int main(int argc, char** argv) {
     std::atomic<std::int64_t> bytes{0};
     util::Timer wall;
     codec::StreamCompressor stream(
-        wedge_codec, opt, [&bytes](codec::CompressedWedge&& cw) {
+        wedge_codec, opt, [&bytes](codec::WedgeEnvelope&& cw) {
           bytes.fetch_add(cw.payload_bytes(), std::memory_order_relaxed);
         });
     for (long long i = 0; i < n_burst; ++i) {

@@ -22,9 +22,16 @@
 /// spilled/replayed counts and the on-disk high-water mark instead of data
 /// loss.
 ///
+/// The pipeline is codec-pluggable: `--codec` selects any registered
+/// WedgeCodec (bcae-fp32 | bcae-fp16 | bcae-int8 | zfp | sz | mgard), so the
+/// same deployment can run the learned codec or any of the paper's
+/// learning-free baselines — the multi-backend story behind the
+/// rate--distortion arena (bench_rd).
+///
 /// Run:  ./streaming_daq [--rate 200] [--seconds 5] [--batch 16]
 ///                       [--workers 1] [--producers 1] [--ordered]
-///                       [--intake auto|single|sharded] [--spill-dir DIR]
+///                       [--codec bcae-fp16] [--intake auto|single|sharded]
+///                       [--spill-dir DIR]
 ///       ./streaming_daq --roundtrip [--wedges 16] [--batch 4] [--workers 2]
 #include <algorithm>
 #include <atomic>
@@ -38,6 +45,7 @@
 #include <vector>
 
 #include "codec/stream.hpp"
+#include "codec/wedge_codec.hpp"
 #include "metrics/metrics.hpp"
 #include "tpc/dataset.hpp"
 #include "util/cli.hpp"
@@ -64,7 +72,7 @@ void print_stream_stats(const char* label, const nc::codec::StreamStats& stats) 
 /// Roundtrip mode: compress `n` wedges through the stream, persist each to
 /// an in-memory byte store, then stream the bytes back through the
 /// decompress pool and score reconstructions against the originals.
-int run_roundtrip(nc::codec::BcaeCodec& wedge_codec,
+int run_roundtrip(const nc::codec::WedgeCodec& wedge_codec,
                   const std::vector<nc::core::Tensor>& wedges,
                   nc::codec::StreamOptions options, std::int64_t n) {
   using namespace nc;
@@ -73,9 +81,9 @@ int run_roundtrip(nc::codec::BcaeCodec& wedge_codec,
   std::mutex store_mutex;
   std::map<std::uint64_t, std::string> storage;  // seq -> serialized bytes
   codec::StreamCompressor compressor(
-      wedge_codec, options, [&](std::uint64_t seq, codec::CompressedWedge&& cw) {
+      wedge_codec, options, [&](std::uint64_t seq, codec::WedgeEnvelope&& env) {
         std::ostringstream os;
-        cw.serialize(os);
+        env.serialize(os);
         std::lock_guard<std::mutex> lock(store_mutex);
         storage.emplace(seq, os.str());
       });
@@ -111,7 +119,7 @@ int run_roundtrip(nc::codec::BcaeCodec& wedge_codec,
       });
   for (const auto& [seq, bytes] : storage) {  // map iterates in seq order
     std::istringstream is(bytes);
-    decompressor.submit(codec::CompressedWedge::deserialize(is));
+    decompressor.submit(codec::WedgeEnvelope::deserialize(is));
   }
   const auto dstats = decompressor.finish();
 
@@ -123,9 +131,10 @@ int run_roundtrip(nc::codec::BcaeCodec& wedge_codec,
       acc.total_voxels() > 0
           ? static_cast<double>(m.actual_positive) / acc.total_voxels()
           : 0.0;
-  std::printf("\nroundtrip summary (%lld wedges, %zu worker(s), batch %zu, "
-              "%s intake%s):\n",
-              static_cast<long long>(n), options.n_workers, options.batch_size,
+  std::printf("\nroundtrip summary (%lld wedges, codec %s, %zu worker(s), "
+              "batch %zu, %s intake%s):\n",
+              static_cast<long long>(n), wedge_codec.name().c_str(),
+              options.n_workers, options.batch_size,
               nc::codec::to_string(compressor.options().intake),
               options.ordered ? ", ordered" : "");
   print_stream_stats("compress  ", cstats);
@@ -164,6 +173,9 @@ int main(int argc, char** argv) {
   args.add_option("workers", "1", "codec worker threads");
   args.add_option("producers", "1", "front-end producer threads");
   args.add_option("wedges", "16", "roundtrip mode: wedges through the chain");
+  args.add_option("codec", "bcae-fp16",
+                  "wedge codec backing the pipeline: bcae-fp32 | bcae-fp16 | "
+                  "bcae-int8 | zfp | sz | mgard");
   args.add_option("intake", "auto",
                   "intake layer: auto | single | sharded (auto = sharded "
                   "when --workers > 1)");
@@ -189,12 +201,23 @@ int main(int argc, char** argv) {
 
   // A pre-trained model would be loaded from a checkpoint here; for the
   // example an untrained BCAE-2D is fine (throughput is weight-independent,
-  // and roundtrip metrics still exercise the full mask semantics).  Both
-  // modes run half-precision inference: the saturating activation cast
-  // clamps the untrained decoder's out-of-range intermediates, so even the
-  // roundtrip decode stays finite in fp16.
+  // and roundtrip metrics still exercise the full mask semantics).  The
+  // saturating fp16 activation cast clamps the untrained decoder's
+  // out-of-range intermediates, so even the half-precision roundtrip decode
+  // stays finite.  The --codec registry hands back any registered backend;
+  // the baselines ignore the model entirely.
   auto model = bcae::make_bcae_2d(bcae::Bcae2dConfig{}, 7);
-  codec::BcaeCodec wedge_codec(model, core::Mode::kEvalHalf);
+  std::unique_ptr<codec::WedgeCodec> wedge_codec;
+  try {
+    wedge_codec = codec::make_wedge_codec(args.get("codec"), model);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s (registered:", e.what());
+    for (const auto& name : codec::registered_codec_names()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, ")\n");
+    return 1;
+  }
 
   // Clamp before the size_t casts: a negative flag value must not wrap into
   // an astronomically large queue or worker count.
@@ -220,14 +243,14 @@ int main(int argc, char** argv) {
 
   if (roundtrip) {
     const std::int64_t n = std::max<std::int64_t>(1, args.get_int("wedges"));
-    return run_roundtrip(wedge_codec, wedges, options, n);
+    return run_roundtrip(*wedge_codec, wedges, options, n);
   }
 
   // With several workers the (unordered) sink runs concurrently: atomics.
   std::atomic<std::int64_t> stored_bytes{0};
   codec::StreamCompressor stream(
-      wedge_codec, options, [&](codec::CompressedWedge&& cw) {
-        stored_bytes.fetch_add(cw.payload_bytes(), std::memory_order_relaxed);
+      *wedge_codec, options, [&](codec::WedgeEnvelope&& env) {
+        stored_bytes.fetch_add(env.payload_bytes(), std::memory_order_relaxed);
       });
 
   // Producers: fixed aggregate rate split across the front-end threads.
@@ -256,9 +279,10 @@ int main(int argc, char** argv) {
   const auto stats = stream.finish();
   const std::int64_t raw_bytes = stats.wedges_compressed *
                                  wedges.front().numel() * 2;  // fp16 accounting
-  std::printf("\nstream summary (%.1f s at %.0f wedges/s offered, %d producer(s), "
-              "%zu worker(s), %s intake%s):\n",
-              duration, rate, n_producers, options.n_workers,
+  std::printf("\nstream summary (%.1f s at %.0f wedges/s offered, codec %s, "
+              "%d producer(s), %zu worker(s), %s intake%s):\n",
+              duration, rate, wedge_codec->name().c_str(), n_producers,
+              options.n_workers,
               codec::to_string(stream.options().intake),
               options.ordered ? ", ordered sink" : "");
   std::printf("  offered:     %lld wedges\n",

@@ -10,6 +10,13 @@
 /// the repository can *demonstrate* the paper's motivating claim — generic
 /// lossy compressors handle sparse zero-suppressed TPC wedges poorly — not
 /// to reproduce the exact SZ/ZFP/MGARD numbers.
+///
+/// Thread-safety contract: `compress` / `decompress` are const and must be
+/// safe for concurrent callers sharing one codec — the streaming pipeline
+/// runs them from several workers at once (codec/wedge_codec.hpp).  The
+/// three lite implementations satisfy this by construction: their only
+/// state is immutable configuration (error bound / rate / level count) and
+/// all working buffers are locals.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "baselines/bitstream.hpp"
 #include "core/tensor.hpp"
 
 namespace nc::baselines {
@@ -26,26 +34,39 @@ class LossyCodec {
   virtual ~LossyCodec() = default;
 
   /// Compress a log-ADC wedge (any-rank tensor; shape is stored).
-  virtual std::vector<std::uint8_t> compress(const core::Tensor& wedge) = 0;
+  virtual std::vector<std::uint8_t> compress(const core::Tensor& wedge) const = 0;
 
   /// Reconstruct; the returned tensor has the original shape.
-  virtual core::Tensor decompress(const std::vector<std::uint8_t>& bytes) = 0;
+  virtual core::Tensor decompress(const std::vector<std::uint8_t>& bytes) const = 0;
 
   virtual std::string name() const = 0;
 };
 
-/// Ratio vs storing the input as 16-bit floats — the same accounting used
-/// for the BCAE code (§3.1), so baseline and BCAE ratios are comparable.
-inline double baseline_compression_ratio(std::int64_t voxels,
-                                         std::size_t compressed_bytes) {
-  return compressed_bytes
-             ? static_cast<double>(voxels * 2) /
+/// The one compression-ratio accounting every codec in the tree shares
+/// (§3.1): bytes of the input stored as 16-bit floats over compressed
+/// payload bytes.  Identical to the BCAE element-count ratio (voxels /
+/// code elements) when the payload is binary16, so learned and
+/// learning-free ratios — and the rate–distortion arena built on them —
+/// are directly comparable.
+inline double fp16_storage_ratio(std::int64_t voxels,
+                                 std::int64_t compressed_bytes) {
+  return compressed_bytes > 0
+             ? static_cast<double>(voxels) * 2.0 /
                    static_cast<double>(compressed_bytes)
              : 0.0;
 }
 
-/// Write / read a tensor shape header.
-void write_shape(class ByteWriter& w, const core::Shape& shape);
-core::Shape read_shape(class ByteReader& r);
+/// Back-compat spelling used by the offline benches; same accounting.
+inline double baseline_compression_ratio(std::int64_t voxels,
+                                         std::size_t compressed_bytes) {
+  return fp16_storage_ratio(voxels,
+                            static_cast<std::int64_t>(compressed_bytes));
+}
+
+/// Write / read a tensor shape header (ByteWriter/ByteReader are the real
+/// bitstream.hpp types — previously bare forward declarations whose
+/// in-parameter-scope injection was one namespace tweak away from breaking).
+void write_shape(ByteWriter& w, const core::Shape& shape);
+core::Shape read_shape(ByteReader& r);
 
 }  // namespace nc::baselines

@@ -90,7 +90,7 @@ std::string MgardLite::name() const {
   return "mgard-lite(eb=" + std::to_string(eb_) + ",L=" + std::to_string(levels_) + ")";
 }
 
-std::vector<std::uint8_t> MgardLite::compress(const core::Tensor& wedge) {
+std::vector<std::uint8_t> MgardLite::compress(const core::Tensor& wedge) const {
   if (wedge.ndim() != 3) {
     throw std::invalid_argument("mgard-lite: expects a 3-D wedge");
   }
@@ -126,7 +126,7 @@ std::vector<std::uint8_t> MgardLite::compress(const core::Tensor& wedge) {
   return w.take();
 }
 
-core::Tensor MgardLite::decompress(const std::vector<std::uint8_t>& bytes) {
+core::Tensor MgardLite::decompress(const std::vector<std::uint8_t>& bytes) const {
   ByteReader r(bytes);
   const core::Shape shape = read_shape(r);
   const float eb = r.get_f32();

@@ -20,8 +20,8 @@ class MgardLite final : public LossyCodec {
   explicit MgardLite(float error_bound = 0.25f, int levels = 3)
       : eb_(error_bound), levels_(levels) {}
 
-  std::vector<std::uint8_t> compress(const core::Tensor& wedge) override;
-  core::Tensor decompress(const std::vector<std::uint8_t>& bytes) override;
+  std::vector<std::uint8_t> compress(const core::Tensor& wedge) const override;
+  core::Tensor decompress(const std::vector<std::uint8_t>& bytes) const override;
   std::string name() const override;
 
  private:

@@ -14,7 +14,7 @@ std::string SzLite::name() const {
   return "sz-lite(eb=" + std::to_string(eb_) + ")";
 }
 
-std::vector<std::uint8_t> SzLite::compress(const core::Tensor& wedge) {
+std::vector<std::uint8_t> SzLite::compress(const core::Tensor& wedge) const {
   ByteWriter w;
   write_shape(w, wedge.shape());
   w.put_f32(eb_);
@@ -47,7 +47,7 @@ std::vector<std::uint8_t> SzLite::compress(const core::Tensor& wedge) {
   return w.take();
 }
 
-core::Tensor SzLite::decompress(const std::vector<std::uint8_t>& bytes) {
+core::Tensor SzLite::decompress(const std::vector<std::uint8_t>& bytes) const {
   ByteReader r(bytes);
   const core::Shape shape = read_shape(r);
   const float eb = r.get_f32();

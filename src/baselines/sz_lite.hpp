@@ -17,8 +17,8 @@ class SzLite final : public LossyCodec {
  public:
   explicit SzLite(float error_bound = 0.25f) : eb_(error_bound) {}
 
-  std::vector<std::uint8_t> compress(const core::Tensor& wedge) override;
-  core::Tensor decompress(const std::vector<std::uint8_t>& bytes) override;
+  std::vector<std::uint8_t> compress(const core::Tensor& wedge) const override;
+  core::Tensor decompress(const std::vector<std::uint8_t>& bytes) const override;
   std::string name() const override;
 
   float error_bound() const { return eb_; }

@@ -80,7 +80,7 @@ std::string ZfpLite::name() const {
   return "zfp-lite(rate=" + std::to_string(rate_bits_) + "bps)";
 }
 
-std::vector<std::uint8_t> ZfpLite::compress(const core::Tensor& wedge) {
+std::vector<std::uint8_t> ZfpLite::compress(const core::Tensor& wedge) const {
   if (wedge.ndim() != 3) {
     throw std::invalid_argument("zfp-lite: expects a 3-D wedge");
   }
@@ -150,7 +150,7 @@ std::vector<std::uint8_t> ZfpLite::compress(const core::Tensor& wedge) {
   return w.take();
 }
 
-core::Tensor ZfpLite::decompress(const std::vector<std::uint8_t>& bytes) {
+core::Tensor ZfpLite::decompress(const std::vector<std::uint8_t>& bytes) const {
   ByteReader r(bytes);
   const core::Shape shape = read_shape(r);
   const int rate = r.get_u8();

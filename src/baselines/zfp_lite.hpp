@@ -21,8 +21,8 @@ class ZfpLite final : public LossyCodec {
   /// blocks (1..16); kept coefficients = rate_bits * 64 / 16.
   explicit ZfpLite(int rate_bits = 4) : rate_bits_(rate_bits) {}
 
-  std::vector<std::uint8_t> compress(const core::Tensor& wedge) override;
-  core::Tensor decompress(const std::vector<std::uint8_t>& bytes) override;
+  std::vector<std::uint8_t> compress(const core::Tensor& wedge) const override;
+  core::Tensor decompress(const std::vector<std::uint8_t>& bytes) const override;
   std::string name() const override;
 
   int kept_coefficients() const { return rate_bits_ * 64 / 16; }

@@ -11,7 +11,7 @@ namespace {
 // --- spill codecs -----------------------------------------------------------
 // Raw (uncompressed) serializers for the overflow tier: spilling exists
 // precisely because the encoder cannot keep up, so the bytes written under
-// pressure must cost no model forwards.  Caps mirror CompressedWedge
+// pressure must cost no model forwards.  Caps mirror WedgeEnvelope
 // deserialization: corrupt spill payloads throw SerializeError (the drainer
 // counts them as failed) instead of driving giant allocations.
 
@@ -54,27 +54,27 @@ core::Tensor decode_wedge_spill(const std::string& bytes) {
   return wedge;
 }
 
-std::string encode_compressed_spill(const CompressedWedge& cw) {
+std::string encode_envelope_spill(const WedgeEnvelope& env) {
   std::ostringstream os;
-  cw.serialize(os);
+  env.serialize(os);
   return os.str();
 }
 
-CompressedWedge decode_compressed_spill(const std::string& bytes) {
+WedgeEnvelope decode_envelope_spill(const std::string& bytes) {
   std::istringstream is(bytes);
-  return CompressedWedge::deserialize(is);
+  return WedgeEnvelope::deserialize(is);
 }
 
-StreamPipeline<core::Tensor, CompressedWedge>::BatchFn compress_fn(
-    BcaeCodec& codec) {
+StreamPipeline<core::Tensor, WedgeEnvelope>::BatchFn compress_fn(
+    const WedgeCodec& codec) {
   return [&codec](std::vector<core::Tensor>&& batch) {
     return codec.compress_batch(batch);
   };
 }
 
-StreamPipeline<CompressedWedge, core::Tensor>::BatchFn decompress_fn(
-    BcaeCodec& codec) {
-  return [&codec](std::vector<CompressedWedge>&& batch) {
+StreamPipeline<WedgeEnvelope, core::Tensor>::BatchFn decompress_fn(
+    const WedgeCodec& codec) {
+  return [&codec](std::vector<WedgeEnvelope>&& batch) {
     return codec.decompress_batch(batch);
   };
 }
@@ -88,21 +88,22 @@ std::int64_t decoded_bytes(const core::Tensor& wedge) {
 
 }  // namespace
 
-StreamCompressor::StreamCompressor(BcaeCodec& codec,
+StreamCompressor::StreamCompressor(const WedgeCodec& codec,
                                    const StreamOptions& options, SeqSink sink)
     : pipeline_(options, compress_fn(codec),
-                [](const CompressedWedge& cw) { return cw.payload_bytes(); },
+                [](const WedgeEnvelope& env) { return env.payload_bytes(); },
                 std::move(sink), {encode_wedge_spill, decode_wedge_spill}) {}
 
-StreamCompressor::StreamCompressor(BcaeCodec& codec,
+StreamCompressor::StreamCompressor(const WedgeCodec& codec,
                                    const StreamOptions& options, Sink sink)
     : StreamCompressor(codec, options,
                        SeqSink([s = std::move(sink)](std::uint64_t,
-                                                     CompressedWedge&& cw) {
-                         s(std::move(cw));
+                                                     WedgeEnvelope&& env) {
+                         s(std::move(env));
                        })) {}
 
-StreamCompressor::StreamCompressor(BcaeCodec& codec, std::size_t queue_capacity,
+StreamCompressor::StreamCompressor(const WedgeCodec& codec,
+                                   std::size_t queue_capacity,
                                    std::size_t batch_size, Sink sink)
     : StreamCompressor(
           codec,
@@ -117,13 +118,13 @@ StreamCompressor::StreamCompressor(BcaeCodec& codec, std::size_t queue_capacity,
           }(),
           std::move(sink)) {}
 
-StreamDecompressor::StreamDecompressor(BcaeCodec& codec,
+StreamDecompressor::StreamDecompressor(const WedgeCodec& codec,
                                        const StreamOptions& options,
                                        SeqSink sink)
     : pipeline_(options, decompress_fn(codec), decoded_bytes, std::move(sink),
-                {encode_compressed_spill, decode_compressed_spill}) {}
+                {encode_envelope_spill, decode_envelope_spill}) {}
 
-StreamDecompressor::StreamDecompressor(BcaeCodec& codec,
+StreamDecompressor::StreamDecompressor(const WedgeCodec& codec,
                                        const StreamOptions& options, Sink sink)
     : StreamDecompressor(codec, options,
                          SeqSink([s = std::move(sink)](std::uint64_t,

@@ -4,7 +4,7 @@
 /// Models the two-sided deployment the paper targets (§1): wedges arrive
 /// continuously from front-end electronics and a real-time compressor must
 /// keep up with the collision rate (`StreamCompressor`); later, offline
-/// analysis streams the stored bitstreams back through the decoder heads
+/// analysis streams the stored bitstreams back through the decoder
 /// (`StreamDecompressor`).  Both are thin adapters over the generic
 /// `StreamPipeline` worker pool (see stream_pipeline.hpp for the concurrency
 /// model: pluggable bounded intake — a shared queue or per-worker
@@ -16,31 +16,41 @@
 /// free, since the intake lives below the transform.  They likewise both
 /// support the lossless spill tier (`StreamOptions::spill_dir`,
 /// spill.hpp): the write side spills raw fp32 wedges, the read side spills
-/// serialized CompressedWedge bytes, and in either case a burst beyond the
+/// serialized WedgeEnvelope bytes, and in either case a burst beyond the
 /// intake bound lands on disk and is replayed — `wedges_dropped` stays 0.
+///
+/// Since the codec-pluggable refactor, both stages are parameterized by a
+/// `WedgeCodec` (wedge_codec.hpp) rather than hard-wired to the BCAE: any
+/// registered codec — bcae-fp32/fp16/int8 or the zfp/sz/mgard baselines —
+/// can back the same deployment, and the stream's unit of exchange is the
+/// codec-tagged `WedgeEnvelope`.  The codec is borrowed and must outlive
+/// the stage; its batched methods are invoked concurrently from all
+/// `n_workers` threads (the WedgeCodec thread-safety contract).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 
-#include "codec/bcae_codec.hpp"
 #include "codec/stream_pipeline.hpp"
+#include "codec/wedge_codec.hpp"
 
 namespace nc::codec {
 
-/// Write side: raw wedges in, compressed wedges out through the BCAE
-/// encoder.  `n_workers` threads drain the queue in batches of `batch_size`
-/// (batching is what buys encoder throughput, Fig. 6).
+/// Write side: raw wedges in, codec-tagged envelopes out through the codec's
+/// batched encoder.  `n_workers` threads drain the queue in batches of
+/// `batch_size` (batching is what buys encoder throughput, Fig. 6).
 class StreamCompressor {
  public:
-  using Sink = std::function<void(CompressedWedge&&)>;
+  using Sink = std::function<void(WedgeEnvelope&&)>;
   /// Sink receiving the wedge's submission sequence number.
-  using SeqSink = std::function<void(std::uint64_t, CompressedWedge&&)>;
+  using SeqSink = std::function<void(std::uint64_t, WedgeEnvelope&&)>;
 
-  StreamCompressor(BcaeCodec& codec, const StreamOptions& options, SeqSink sink);
-  StreamCompressor(BcaeCodec& codec, const StreamOptions& options, Sink sink);
+  StreamCompressor(const WedgeCodec& codec, const StreamOptions& options,
+                   SeqSink sink);
+  StreamCompressor(const WedgeCodec& codec, const StreamOptions& options,
+                   Sink sink);
   /// Legacy single-worker construction (unordered).
-  StreamCompressor(BcaeCodec& codec, std::size_t queue_capacity,
+  StreamCompressor(const WedgeCodec& codec, std::size_t queue_capacity,
                    std::size_t batch_size, Sink sink);
 
   StreamCompressor(const StreamCompressor&) = delete;
@@ -59,35 +69,40 @@ class StreamCompressor {
   const StreamOptions& options() const { return pipeline_.options(); }
 
  private:
-  StreamPipeline<core::Tensor, CompressedWedge> pipeline_;
+  StreamPipeline<core::Tensor, WedgeEnvelope> pipeline_;
 };
 
-/// Read side: compressed wedges in, decoded tensors out through a batched
-/// decoder forward (`BcaeCodec::decompress_batch`) — the offline-analysis
-/// twin of `StreamCompressor`.  Stats vocabulary is shared with the write
-/// side: `wedges_compressed` counts decoded wedges and `payload_bytes` the
+/// Read side: codec-tagged envelopes in, decoded tensors out through the
+/// codec's batched decoder — the offline-analysis twin of
+/// `StreamCompressor`.  Stats vocabulary is shared with the write side:
+/// `wedges_compressed` counts decoded wedges and `payload_bytes` the
 /// fp16-accounted bytes of the reconstructed wedges (the volume handed to
-/// the analysis sink).  A wedge whose payload fails to decode (corrupt code
-/// shape, truncated payload) fails its whole batch into `wedges_failed` —
-/// the same wholesale containment as the write side — without killing its
-/// worker or stalling the ordered cursor; run corrupt-prone streams with
-/// `batch_size = 1` to contain the loss to the poisoned wedge.
+/// the analysis sink).  A wedge whose payload fails to decode (wrong codec
+/// id, corrupt payload, truncated bitstream) fails its whole batch into
+/// `wedges_failed` — the same wholesale containment as the write side —
+/// without killing its worker or stalling the ordered cursor; run
+/// corrupt-prone streams with `batch_size = 1` to contain the loss to the
+/// poisoned wedge.
 class StreamDecompressor {
  public:
   using Sink = std::function<void(core::Tensor&&)>;
   /// Sink receiving the wedge's submission sequence number.
   using SeqSink = std::function<void(std::uint64_t, core::Tensor&&)>;
 
-  StreamDecompressor(BcaeCodec& codec, const StreamOptions& options, SeqSink sink);
-  StreamDecompressor(BcaeCodec& codec, const StreamOptions& options, Sink sink);
+  StreamDecompressor(const WedgeCodec& codec, const StreamOptions& options,
+                     SeqSink sink);
+  StreamDecompressor(const WedgeCodec& codec, const StreamOptions& options,
+                     Sink sink);
 
   StreamDecompressor(const StreamDecompressor&) = delete;
   StreamDecompressor& operator=(const StreamDecompressor&) = delete;
 
   /// Non-blocking submit with backpressure accounting.
-  bool try_submit(CompressedWedge wedge) { return pipeline_.try_submit(std::move(wedge)); }
+  bool try_submit(WedgeEnvelope envelope) {
+    return pipeline_.try_submit(std::move(envelope));
+  }
   /// Blocking submit (test/offline use).
-  void submit(CompressedWedge wedge) { pipeline_.submit(std::move(wedge)); }
+  void submit(WedgeEnvelope envelope) { pipeline_.submit(std::move(envelope)); }
 
   /// Close the intake, drain the queue, join the workers and return totals
   /// plus the per-worker breakdown (idempotent, like the write side).
@@ -96,7 +111,7 @@ class StreamDecompressor {
   const StreamOptions& options() const { return pipeline_.options(); }
 
  private:
-  StreamPipeline<CompressedWedge, core::Tensor> pipeline_;
+  StreamPipeline<WedgeEnvelope, core::Tensor> pipeline_;
 };
 
 }  // namespace nc::codec

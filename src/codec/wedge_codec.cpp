@@ -1,0 +1,283 @@
+#include "codec/wedge_codec.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "baselines/mgard_lite.hpp"
+#include "baselines/sz_lite.hpp"
+#include "baselines/zfp_lite.hpp"
+#include "util/serialize.hpp"
+
+namespace nc::codec {
+
+namespace {
+
+constexpr char kEnvelopeKind[4] = {'W', 'E', 'N', 'V'};
+constexpr std::uint32_t kEnvelopeVersion = 1;
+
+// Plausibility caps mirroring CompressedWedge deserialization: a paper-scale
+// wedge is (16, 192, 249) and its payload a few hundred kB; corrupt headers
+// must fail loudly, not drive giant allocations.
+constexpr std::int64_t kMaxWedgeDim = std::int64_t{1} << 20;
+constexpr std::int64_t kMaxPayloadBytes = std::int64_t{1} << 29;  // 512 MiB
+
+std::int64_t read_checked_dim(std::istream& is, const char* what) {
+  const std::int64_t d = util::read_i64(is);
+  if (d <= 0 || d > kMaxWedgeDim) {
+    throw util::SerializeError(std::string(what) + " dim implausible: " +
+                               std::to_string(d));
+  }
+  return d;
+}
+
+/// Shared by every adapter: an envelope handed to the wrong codec must fail
+/// that wedge (the pipeline contains it as wedges_failed), never decode
+/// garbage bytes with the wrong mechanism.
+void check_envelope_codec(const WedgeEnvelope& env, std::uint8_t expected,
+                          const std::string& codec_name) {
+  if (env.codec_id != expected) {
+    throw std::invalid_argument(
+        "decompress: envelope carries codec id " +
+        std::to_string(static_cast<int>(env.codec_id)) + " but codec '" +
+        codec_name + "' has id " + std::to_string(static_cast<int>(expected)));
+  }
+}
+
+}  // namespace
+
+bool known_codec_id(std::uint8_t id) {
+  switch (static_cast<WedgeCodecId>(id)) {
+    case WedgeCodecId::kBcaeFp32:
+    case WedgeCodecId::kBcaeFp16:
+    case WedgeCodecId::kBcaeInt8:
+    case WedgeCodecId::kZfp:
+    case WedgeCodecId::kSz:
+    case WedgeCodecId::kMgard:
+      return true;
+  }
+  return false;
+}
+
+std::string codec_id_name(std::uint8_t id) {
+  switch (static_cast<WedgeCodecId>(id)) {
+    case WedgeCodecId::kBcaeFp32: return "bcae-fp32";
+    case WedgeCodecId::kBcaeFp16: return "bcae-fp16";
+    case WedgeCodecId::kBcaeInt8: return "bcae-int8";
+    case WedgeCodecId::kZfp: return "zfp";
+    case WedgeCodecId::kSz: return "sz";
+    case WedgeCodecId::kMgard: return "mgard";
+  }
+  throw std::invalid_argument("unknown wedge codec id " +
+                              std::to_string(static_cast<int>(id)));
+}
+
+void WedgeEnvelope::serialize(std::ostream& os) const {
+  util::write_magic(os, kEnvelopeKind, kEnvelopeVersion);
+  util::write_u32(os, codec_id);
+  util::write_i64(os, wedge_shape.radial);
+  util::write_i64(os, wedge_shape.azim);
+  util::write_i64(os, wedge_shape.horiz);
+  util::write_u64(os, payload.size());
+  util::write_bytes(os, payload.data(), payload.size());
+}
+
+WedgeEnvelope WedgeEnvelope::deserialize(std::istream& is) {
+  // Version-gate before touching any field: a future format bump must fail
+  // loudly here, not be misparsed as v1 field soup.
+  const std::uint32_t version = util::read_magic(is, kEnvelopeKind);
+  if (version != kEnvelopeVersion) {
+    throw util::SerializeError("unsupported WedgeEnvelope version " +
+                               std::to_string(version) + " (expected " +
+                               std::to_string(kEnvelopeVersion) + ")");
+  }
+  WedgeEnvelope out;
+  const std::uint32_t id = util::read_u32(is);
+  if (id > 0xFF || !known_codec_id(static_cast<std::uint8_t>(id))) {
+    throw util::SerializeError("unknown wedge codec id " + std::to_string(id));
+  }
+  out.codec_id = static_cast<std::uint8_t>(id);
+  out.wedge_shape.radial = read_checked_dim(is, "wedge radial");
+  out.wedge_shape.azim = read_checked_dim(is, "wedge azim");
+  out.wedge_shape.horiz = read_checked_dim(is, "wedge horiz");
+  const std::uint64_t n = util::read_u64(is);
+  if (n > static_cast<std::uint64_t>(kMaxPayloadBytes)) {
+    throw util::SerializeError("envelope payload size implausible: " +
+                               std::to_string(n));
+  }
+  out.payload.resize(static_cast<std::size_t>(n));
+  util::read_bytes(is, out.payload.data(), out.payload.size());
+  return out;
+}
+
+WedgeEnvelope WedgeCodec::compress(const core::Tensor& wedge) const {
+  auto batch = compress_batch({wedge});
+  return std::move(batch.front());
+}
+
+core::Tensor WedgeCodec::decompress(const WedgeEnvelope& envelope) const {
+  auto batch = decompress_batch({envelope});
+  return std::move(batch.front());
+}
+
+// --- BCAE adapter -----------------------------------------------------------
+
+namespace {
+core::Mode checked_bcae_mode(core::Mode mode) {
+  if (mode != core::Mode::kEval && mode != core::Mode::kEvalHalf &&
+      mode != core::Mode::kEvalInt8) {
+    throw std::invalid_argument("BcaeWedgeCodec: not an inference mode");
+  }
+  return mode;
+}
+
+std::uint8_t bcae_mode_id(core::Mode mode) {
+  switch (mode) {
+    case core::Mode::kEval:
+      return static_cast<std::uint8_t>(WedgeCodecId::kBcaeFp32);
+    case core::Mode::kEvalHalf:
+      return static_cast<std::uint8_t>(WedgeCodecId::kBcaeFp16);
+    default:
+      return static_cast<std::uint8_t>(WedgeCodecId::kBcaeInt8);
+  }
+}
+}  // namespace
+
+BcaeWedgeCodec::BcaeWedgeCodec(bcae::BcaeModel& model, core::Mode mode,
+                               float threshold)
+    : codec_(model, checked_bcae_mode(mode), threshold),
+      id_(bcae_mode_id(mode)) {}
+
+std::string BcaeWedgeCodec::name() const { return codec_id_name(id_); }
+
+std::vector<WedgeEnvelope> BcaeWedgeCodec::compress_batch(
+    const std::vector<core::Tensor>& wedges) const {
+  const auto compressed = codec_.compress_batch(wedges);
+  std::vector<WedgeEnvelope> out;
+  out.reserve(compressed.size());
+  for (const auto& cw : compressed) {
+    WedgeEnvelope env;
+    env.codec_id = id_;
+    env.wedge_shape = cw.wedge_shape;
+    std::ostringstream os;
+    cw.serialize(os);
+    const std::string bytes = os.str();
+    env.payload.assign(bytes.begin(), bytes.end());
+    out.push_back(std::move(env));
+  }
+  return out;
+}
+
+std::vector<core::Tensor> BcaeWedgeCodec::decompress_batch(
+    const std::vector<WedgeEnvelope>& envelopes) const {
+  std::vector<CompressedWedge> compressed;
+  compressed.reserve(envelopes.size());
+  for (const auto& env : envelopes) {
+    check_envelope_codec(env, id_, name());
+    std::istringstream is(std::string(env.payload.begin(), env.payload.end()));
+    CompressedWedge cw;
+    try {
+      cw = CompressedWedge::deserialize(is);
+    } catch (const util::SerializeError& e) {
+      // The streaming contract for a corrupt payload is invalid_argument
+      // (same as a header/payload mismatch): the batch fails, the worker
+      // survives.
+      throw std::invalid_argument(std::string("decompress: corrupt BCAE "
+                                              "payload: ") + e.what());
+    }
+    if (cw.wedge_shape != env.wedge_shape) {
+      throw std::invalid_argument(
+          "decompress: envelope wedge shape disagrees with payload header");
+    }
+    compressed.push_back(std::move(cw));
+  }
+  return codec_.decompress_batch(compressed);
+}
+
+// --- baseline adapter -------------------------------------------------------
+
+BaselineWedgeCodec::BaselineWedgeCodec(
+    WedgeCodecId id, std::unique_ptr<baselines::LossyCodec> impl)
+    : id_(static_cast<std::uint8_t>(id)), impl_(std::move(impl)) {
+  if (!impl_) {
+    throw std::invalid_argument("BaselineWedgeCodec: null implementation");
+  }
+}
+
+std::string BaselineWedgeCodec::name() const { return codec_id_name(id_); }
+
+std::vector<WedgeEnvelope> BaselineWedgeCodec::compress_batch(
+    const std::vector<core::Tensor>& wedges) const {
+  std::vector<WedgeEnvelope> out;
+  out.reserve(wedges.size());
+  for (const auto& w : wedges) {
+    if (w.ndim() != 3) {
+      throw std::invalid_argument(
+          "compress: wedge must be (radial, azim, horiz)");
+    }
+    WedgeEnvelope env;
+    env.codec_id = id_;
+    env.wedge_shape = tpc::WedgeShape{w.dim(0), w.dim(1), w.dim(2)};
+    env.payload = impl_->compress(w);
+    out.push_back(std::move(env));
+  }
+  return out;
+}
+
+std::vector<core::Tensor> BaselineWedgeCodec::decompress_batch(
+    const std::vector<WedgeEnvelope>& envelopes) const {
+  std::vector<core::Tensor> out;
+  out.reserve(envelopes.size());
+  for (const auto& env : envelopes) {
+    check_envelope_codec(env, id_, name());
+    core::Tensor wedge;
+    try {
+      wedge = impl_->decompress(env.payload);
+    } catch (const std::exception& e) {
+      throw std::invalid_argument(std::string("decompress: corrupt ") +
+                                  name() + " payload: " + e.what());
+    }
+    const core::Shape expect{env.wedge_shape.radial, env.wedge_shape.azim,
+                             env.wedge_shape.horiz};
+    if (wedge.shape() != expect) {
+      throw std::invalid_argument(
+          "decompress: envelope wedge shape disagrees with payload header");
+    }
+    out.push_back(std::move(wedge));
+  }
+  return out;
+}
+
+// --- registry ---------------------------------------------------------------
+
+std::vector<std::string> registered_codec_names() {
+  return {"bcae-fp32", "bcae-fp16", "bcae-int8", "zfp", "sz", "mgard"};
+}
+
+std::unique_ptr<WedgeCodec> make_wedge_codec(const std::string& name,
+                                             bcae::BcaeModel& model) {
+  if (name == "bcae-fp32") {
+    return std::make_unique<BcaeWedgeCodec>(model, core::Mode::kEval);
+  }
+  if (name == "bcae-fp16") {
+    return std::make_unique<BcaeWedgeCodec>(model, core::Mode::kEvalHalf);
+  }
+  if (name == "bcae-int8") {
+    return std::make_unique<BcaeWedgeCodec>(model, core::Mode::kEvalInt8);
+  }
+  if (name == "zfp") {
+    return std::make_unique<BaselineWedgeCodec>(
+        WedgeCodecId::kZfp, std::make_unique<baselines::ZfpLite>());
+  }
+  if (name == "sz") {
+    return std::make_unique<BaselineWedgeCodec>(
+        WedgeCodecId::kSz, std::make_unique<baselines::SzLite>());
+  }
+  if (name == "mgard") {
+    return std::make_unique<BaselineWedgeCodec>(
+        WedgeCodecId::kMgard, std::make_unique<baselines::MgardLite>());
+  }
+  throw std::invalid_argument("unknown wedge codec '" + name + "'");
+}
+
+}  // namespace nc::codec

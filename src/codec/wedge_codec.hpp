@@ -1,0 +1,185 @@
+/// \file wedge_codec.hpp
+/// \brief Uniform codec interface for the streaming pipeline: any compressor
+///        that can turn wedges into byte payloads (and back) can sit behind
+///        StreamCompressor/StreamDecompressor.
+///
+/// The paper's central claim (§1) is that the learned BCAE beats generic
+/// lossy compressors (SZ/ZFP/MGARD) on sparse zero-suppressed TPC wedges.
+/// Demonstrating that under realistic load requires running *every* codec
+/// through the same streaming deployment, so this header extracts the
+/// contract the pipeline actually needs:
+///
+///   WedgeCodec — batched compress/decompress over a codec-tagged envelope,
+///                a stable wire id, and a human-readable name.
+///
+/// Two adapter families implement it:
+///   * BcaeWedgeCodec     — the learned codec in any eval mode (fp32 /
+///                          fp16 / int8); payload = serialized
+///                          CompressedWedge bytes.
+///   * BaselineWedgeCodec — any nc::baselines::LossyCodec (zfp_lite,
+///                          sz_lite, mgard_lite); payload = the baseline's
+///                          own bitstream.
+///
+/// Thread-safety contract: `compress_batch` / `decompress_batch` are const
+/// and MUST be safe for concurrent callers sharing one codec instance —
+/// the stream pipeline calls them from `n_workers` threads at once.  Both
+/// adapters honor this: BcaeCodec's eval forwards use per-thread scratch
+/// (codec/bcae_codec.hpp), and the lite baselines keep only immutable
+/// configuration (baselines/lossy_codec.hpp).
+///
+/// The envelope is the single on-the-wire unit: a version-gated header
+/// tagging the payload with its codec id and original wedge shape, so
+/// mixed-codec streams round-trip through the existing serialize / spill /
+/// reorder machinery unchanged.  An unknown codec id or implausible header
+/// throws util::SerializeError at deserialization (same containment as
+/// CompressedWedge); a payload that later fails to decode lands the wedge
+/// in `wedges_failed` without killing its worker.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/lossy_codec.hpp"
+#include "codec/bcae_codec.hpp"
+#include "tpc/geometry.hpp"
+
+namespace nc::codec {
+
+/// Stable wire identifiers.  Values are part of the serialized format and
+/// must never be renumbered; add new codecs at unused values.  Learned
+/// codecs live below 16, learning-free baselines at 16+.
+enum class WedgeCodecId : std::uint8_t {
+  kBcaeFp32 = 1,  ///< BCAE, full-precision inference (core::Mode::kEval)
+  kBcaeFp16 = 2,  ///< BCAE, half-precision inference (kEvalHalf)
+  kBcaeInt8 = 3,  ///< BCAE, int8-quantized inference (kEvalInt8)
+  kZfp = 16,      ///< baselines::ZfpLite (fixed-rate block transform)
+  kSz = 17,       ///< baselines::SzLite (error-bounded Lorenzo prediction)
+  kMgard = 18,    ///< baselines::MgardLite (multilevel decimation)
+};
+
+/// True iff `id` names a codec this build knows how to construct.
+bool known_codec_id(std::uint8_t id);
+
+/// Registry name for a wire id ("bcae-fp16", "zfp", ...); throws
+/// std::invalid_argument on an unknown id.
+std::string codec_id_name(std::uint8_t id);
+
+/// One compressed wedge on the wire: codec id + original shape + opaque
+/// payload.  The shape rides in the envelope so compression accounting
+/// (ratio vs the fp16-stored unpadded wedge, §3.1) needs no decode and is
+/// computed identically for every codec.
+struct WedgeEnvelope {
+  std::uint8_t codec_id = 0;         ///< WedgeCodecId of the payload
+  tpc::WedgeShape wedge_shape;       ///< unpadded original shape
+  std::vector<std::uint8_t> payload; ///< codec-specific bitstream
+
+  /// Compressed size in bytes (payload only, as the paper counts it).
+  std::int64_t payload_bytes() const {
+    return static_cast<std::int64_t>(payload.size());
+  }
+  /// Achieved ratio vs the fp16-stored unpadded wedge — the one accounting
+  /// every codec shares (baselines::fp16_storage_ratio).
+  double compression_ratio() const {
+    return baselines::fp16_storage_ratio(wedge_shape.voxels(),
+                                         payload_bytes());
+  }
+
+  /// Version-gated serialization.  deserialize() throws util::SerializeError
+  /// on a bad magic/version, an unknown codec id, an implausible shape or a
+  /// truncated payload — corrupt storage must fail loudly, never allocate
+  /// wildly or decode garbage.
+  void serialize(std::ostream& os) const;
+  static WedgeEnvelope deserialize(std::istream& is);
+};
+
+/// Abstract compressor the streaming pipeline is parameterized over.
+class WedgeCodec {
+ public:
+  virtual ~WedgeCodec() = default;
+
+  /// Stable wire id stamped into every envelope this codec produces.
+  virtual std::uint8_t codec_id() const = 0;
+  /// Registry / display name ("bcae-fp16", "zfp", ...).
+  virtual std::string name() const = 0;
+
+  /// Compress a batch of unpadded (radial, azim, horiz) wedges.  Returns
+  /// one envelope per wedge, in input order.  Const and safe for concurrent
+  /// callers (see the header comment for the exact contract).
+  virtual std::vector<WedgeEnvelope> compress_batch(
+      const std::vector<core::Tensor>& wedges) const = 0;
+
+  /// Decompress a batch of envelopes, in input order.  Throws
+  /// std::invalid_argument on an envelope tagged with a different codec id
+  /// (wrong-codec decode) or a payload inconsistent with its header; the
+  /// stream pipeline contains such a throw as `wedges_failed`.
+  virtual std::vector<core::Tensor> decompress_batch(
+      const std::vector<WedgeEnvelope>& envelopes) const = 0;
+
+  // Single-wedge conveniences on top of the batched core.
+  WedgeEnvelope compress(const core::Tensor& wedge) const;
+  core::Tensor decompress(const WedgeEnvelope& envelope) const;
+};
+
+/// BCAE behind the uniform interface.  Borrows the model (it must outlive
+/// the adapter); `mode` picks the eval precision and thereby the wire id:
+/// kEval -> bcae-fp32, kEvalHalf -> bcae-fp16, kEvalInt8 -> bcae-int8.
+/// The payload is the serialized CompressedWedge (header + binary16 code),
+/// so existing hardened parsing is reused verbatim.
+class BcaeWedgeCodec final : public WedgeCodec {
+ public:
+  explicit BcaeWedgeCodec(bcae::BcaeModel& model,
+                          core::Mode mode = core::Mode::kEvalHalf,
+                          float threshold = bcae::kDefaultThreshold);
+
+  std::uint8_t codec_id() const override { return id_; }
+  std::string name() const override;
+  std::vector<WedgeEnvelope> compress_batch(
+      const std::vector<core::Tensor>& wedges) const override;
+  std::vector<core::Tensor> decompress_batch(
+      const std::vector<WedgeEnvelope>& envelopes) const override;
+
+  const BcaeCodec& bcae() const { return codec_; }
+
+ private:
+  BcaeCodec codec_;
+  std::uint8_t id_;
+};
+
+/// Any learning-free LossyCodec behind the uniform interface.  Owns its
+/// implementation; the payload is the baseline's own bitstream (which
+/// already embeds the shape it needs to reconstruct).  Safe for concurrent
+/// workers because the lite baselines hold only immutable configuration.
+class BaselineWedgeCodec final : public WedgeCodec {
+ public:
+  BaselineWedgeCodec(WedgeCodecId id,
+                     std::unique_ptr<baselines::LossyCodec> impl);
+
+  std::uint8_t codec_id() const override { return id_; }
+  std::string name() const override;
+  std::vector<WedgeEnvelope> compress_batch(
+      const std::vector<core::Tensor>& wedges) const override;
+  std::vector<core::Tensor> decompress_batch(
+      const std::vector<WedgeEnvelope>& envelopes) const override;
+
+  const baselines::LossyCodec& impl() const { return *impl_; }
+
+ private:
+  std::uint8_t id_;
+  std::unique_ptr<baselines::LossyCodec> impl_;
+};
+
+/// Names of every codec the factory can construct, in registry order:
+/// bcae-fp32, bcae-fp16, bcae-int8, zfp, sz, mgard.
+std::vector<std::string> registered_codec_names();
+
+/// Build a codec by registry name.  BCAE entries borrow `model` (which must
+/// outlive the codec); baseline entries ignore it and use their default
+/// knobs (zfp rate 4 bps, sz/mgard error bound 0.25).  Throws
+/// std::invalid_argument on an unknown name.
+std::unique_ptr<WedgeCodec> make_wedge_codec(const std::string& name,
+                                             bcae::BcaeModel& model);
+
+}  // namespace nc::codec

@@ -23,6 +23,7 @@
 
 #include "codec/bcae_codec.hpp"
 #include "codec/stream_pipeline.hpp"
+#include "codec/wedge_codec.hpp"
 #include "tpc/dataset.hpp"
 
 namespace nc::testutil {
@@ -137,6 +138,17 @@ inline core::Tensor raw_wedge(std::size_t i) {
 inline std::vector<codec::CompressedWedge> compressed_wedges(
     const codec::BcaeCodec& codec, int n) {
   std::vector<codec::CompressedWedge> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(codec.compress(raw_wedge(static_cast<std::size_t>(i))));
+  }
+  return out;
+}
+
+/// Envelope twin of compressed_wedges: compress n wedges directly through
+/// any WedgeCodec (no stream) as stream round-trip input.
+inline std::vector<codec::WedgeEnvelope> enveloped_wedges(
+    const codec::WedgeCodec& codec, int n) {
+  std::vector<codec::WedgeEnvelope> out;
   for (int i = 0; i < n; ++i) {
     out.push_back(codec.compress(raw_wedge(static_cast<std::size_t>(i))));
   }

@@ -18,7 +18,9 @@
 namespace {
 
 using nc::codec::BcaeCodec;
+using nc::codec::BcaeWedgeCodec;
 using nc::codec::CompressedWedge;
+using nc::codec::WedgeEnvelope;
 using nc::codec::IntakeMode;
 using nc::core::Mode;
 using nc::core::Tensor;
@@ -196,12 +198,12 @@ TEST(BoundedQueue, PopBatchMaxItemsZeroStillDeliversOne) {
 
 TEST(StreamCompressor, CompressesEverySubmittedWedge) {
   auto model = nc::bcae::make_bcae_ht(43);
-  BcaeCodec codec(model, Mode::kEval);
+  BcaeWedgeCodec codec(model, Mode::kEval);
   std::atomic<int> received{0};
   std::atomic<std::int64_t> bytes{0};
   nc::codec::StreamCompressor stream(
       codec, /*queue_capacity=*/64, /*batch_size=*/4,
-      [&](CompressedWedge&& cw) {
+      [&](WedgeEnvelope&& cw) {
         received.fetch_add(1);
         bytes.fetch_add(cw.payload_bytes());
       });
@@ -218,11 +220,11 @@ TEST(StreamCompressor, CompressesEverySubmittedWedge) {
 
 TEST(StreamCompressor, CountsDropsUnderBackpressure) {
   auto model = nc::bcae::make_bcae_ht(45);
-  BcaeCodec codec(model, Mode::kEval);
+  BcaeWedgeCodec codec(model, Mode::kEval);
   // Tiny queue + a sink that can't be outrun: some try_submits must fail.
   nc::codec::StreamCompressor stream(codec, /*queue_capacity=*/1,
                                      /*batch_size=*/1,
-                                     [](CompressedWedge&&) {});
+                                     [](WedgeEnvelope&&) {});
   int accepted = 0;
   const int offered = 200;
   for (int i = 0; i < offered; ++i) {
@@ -245,14 +247,14 @@ TEST(BoundedQueue, WaitForSpaceUnblocksOnCloseAndReportsIt) {
 
 TEST(StreamCompressor, BlockingSubmitRidesOutTinyQueue) {
   auto model = nc::bcae::make_bcae_ht(63);
-  BcaeCodec codec(model, Mode::kEval);
+  BcaeWedgeCodec codec(model, Mode::kEval);
   nc::codec::StreamOptions opt;
   opt.queue_capacity = 1;  // every submit after the first must wait for space
   opt.batch_size = 1;
   opt.n_workers = 1;
   std::atomic<int> received{0};
   nc::codec::StreamCompressor stream(
-      codec, opt, [&](CompressedWedge&&) { received.fetch_add(1); });
+      codec, opt, [&](WedgeEnvelope&&) { received.fetch_add(1); });
   const int n = 6;
   for (int i = 0; i < n; ++i) stream.submit(raw_wedge(static_cast<std::size_t>(i)));
   const auto stats = stream.finish();
@@ -275,7 +277,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST_P(StreamCompressorIntake, MultiWorkerCompressesEverySubmittedWedge) {
   auto model = nc::bcae::make_bcae_ht(49);
-  BcaeCodec codec(model, Mode::kEval);
+  BcaeWedgeCodec codec(model, Mode::kEval);
   nc::codec::StreamOptions opt;
   opt.intake = GetParam();
   opt.queue_capacity = 16;
@@ -283,7 +285,7 @@ TEST_P(StreamCompressorIntake, MultiWorkerCompressesEverySubmittedWedge) {
   opt.n_workers = 3;
   std::atomic<int> received{0};
   std::atomic<std::int64_t> bytes{0};
-  nc::codec::StreamCompressor stream(codec, opt, [&](CompressedWedge&& cw) {
+  nc::codec::StreamCompressor stream(codec, opt, [&](WedgeEnvelope&& cw) {
     received.fetch_add(1);
     bytes.fetch_add(cw.payload_bytes());
   });
@@ -316,7 +318,7 @@ TEST_P(StreamCompressorIntake, MultiWorkerCompressesEverySubmittedWedge) {
 
 TEST_P(StreamCompressorIntake, MultiWorkerDropAccountingUnderBackpressure) {
   auto model = nc::bcae::make_bcae_ht(51);
-  BcaeCodec codec(model, Mode::kEval);
+  BcaeWedgeCodec codec(model, Mode::kEval);
   nc::codec::StreamOptions opt;
   opt.intake = GetParam();
   opt.queue_capacity = 1;
@@ -324,7 +326,7 @@ TEST_P(StreamCompressorIntake, MultiWorkerDropAccountingUnderBackpressure) {
   opt.n_workers = 2;
   std::atomic<int> received{0};
   nc::codec::StreamCompressor stream(
-      codec, opt, [&](CompressedWedge&&) { received.fetch_add(1); });
+      codec, opt, [&](WedgeEnvelope&&) { received.fetch_add(1); });
   int accepted = 0;
   const int offered = 120;
   for (int i = 0; i < offered; ++i) {
@@ -339,7 +341,7 @@ TEST_P(StreamCompressorIntake, MultiWorkerDropAccountingUnderBackpressure) {
 
 TEST_P(StreamCompressorIntake, OrderedSinkEmitsInSubmissionOrder) {
   auto model = nc::bcae::make_bcae_ht(53);
-  BcaeCodec codec(model, Mode::kEval);
+  BcaeWedgeCodec codec(model, Mode::kEval);
   nc::codec::StreamOptions opt;
   opt.intake = GetParam();
   opt.queue_capacity = 8;
@@ -350,7 +352,7 @@ TEST_P(StreamCompressorIntake, OrderedSinkEmitsInSubmissionOrder) {
   std::vector<std::uint64_t> seqs;
   nc::codec::StreamCompressor stream(
       codec, opt,
-      [&](std::uint64_t seq, CompressedWedge&&) { seqs.push_back(seq); });
+      [&](std::uint64_t seq, WedgeEnvelope&&) { seqs.push_back(seq); });
   const int n = 16;
   for (int i = 0; i < n; ++i) stream.submit(raw_wedge(static_cast<std::size_t>(i % 8)));
   const auto stats = stream.finish();
@@ -363,7 +365,7 @@ TEST_P(StreamCompressorIntake, OrderedSinkEmitsInSubmissionOrder) {
 
 TEST_P(StreamCompressorIntake, UnorderedSeqsArePermutationOfSubmissions) {
   auto model = nc::bcae::make_bcae_ht(55);
-  BcaeCodec codec(model, Mode::kEval);
+  BcaeWedgeCodec codec(model, Mode::kEval);
   nc::codec::StreamOptions opt;
   opt.intake = GetParam();
   opt.queue_capacity = 8;
@@ -372,7 +374,7 @@ TEST_P(StreamCompressorIntake, UnorderedSeqsArePermutationOfSubmissions) {
   std::mutex seq_mutex;  // unordered sink runs concurrently
   std::vector<std::uint64_t> seqs;
   nc::codec::StreamCompressor stream(
-      codec, opt, [&](std::uint64_t seq, CompressedWedge&&) {
+      codec, opt, [&](std::uint64_t seq, WedgeEnvelope&&) {
         std::lock_guard<std::mutex> lock(seq_mutex);
         seqs.push_back(seq);
       });
@@ -388,7 +390,7 @@ TEST_P(StreamCompressorIntake, UnorderedSeqsArePermutationOfSubmissions) {
 
 TEST_P(StreamCompressorIntake, ThrowingSinkDoesNotKillOrderedPipeline) {
   auto model = nc::bcae::make_bcae_ht(65);
-  BcaeCodec codec(model, Mode::kEval);
+  BcaeWedgeCodec codec(model, Mode::kEval);
   nc::codec::StreamOptions opt;
   opt.intake = GetParam();
   opt.queue_capacity = 8;
@@ -397,7 +399,7 @@ TEST_P(StreamCompressorIntake, ThrowingSinkDoesNotKillOrderedPipeline) {
   opt.ordered = true;
   std::vector<std::uint64_t> seqs;
   nc::codec::StreamCompressor stream(
-      codec, opt, [&](std::uint64_t seq, CompressedWedge&&) {
+      codec, opt, [&](std::uint64_t seq, WedgeEnvelope&&) {
         if (seq == 1) throw std::runtime_error("storage refused wedge");
         seqs.push_back(seq);
       });
@@ -417,7 +419,7 @@ TEST_P(StreamCompressorIntake, ThrowingSinkDoesNotKillOrderedPipeline) {
 
 TEST_P(StreamCompressorIntake, ConcurrentProducersWithConcurrentFinish) {
   auto model = nc::bcae::make_bcae_ht(57);
-  BcaeCodec codec(model, Mode::kEval);
+  BcaeWedgeCodec codec(model, Mode::kEval);
   nc::codec::StreamOptions opt;
   opt.intake = GetParam();
   opt.queue_capacity = 4;
@@ -425,7 +427,7 @@ TEST_P(StreamCompressorIntake, ConcurrentProducersWithConcurrentFinish) {
   opt.n_workers = 2;
   std::atomic<int> received{0};
   nc::codec::StreamCompressor stream(
-      codec, opt, [&](CompressedWedge&&) { received.fetch_add(1); });
+      codec, opt, [&](WedgeEnvelope&&) { received.fetch_add(1); });
   constexpr int kProducers = 3, kPerProducer = 40;
   std::vector<std::thread> producers;
   for (int p = 0; p < kProducers; ++p) {
@@ -449,12 +451,12 @@ TEST_P(StreamCompressorIntake, ConcurrentProducersWithConcurrentFinish) {
 
 TEST(StreamCompressor, DoubleFinishIsIdempotent) {
   auto model = nc::bcae::make_bcae_ht(59);
-  BcaeCodec codec(model, Mode::kEval);
+  BcaeWedgeCodec codec(model, Mode::kEval);
   std::atomic<int> received{0};
   {
     nc::codec::StreamCompressor stream(
         codec, /*queue_capacity=*/8, /*batch_size=*/2,
-        [&](CompressedWedge&&) { received.fetch_add(1); });
+        [&](WedgeEnvelope&&) { received.fetch_add(1); });
     for (int i = 0; i < 5; ++i) stream.submit(raw_wedge(static_cast<std::size_t>(i)));
     const auto first = stream.finish();
     const auto second = stream.finish();
@@ -468,12 +470,12 @@ TEST(StreamCompressor, DoubleFinishIsIdempotent) {
 
 TEST(StreamCompressor, FinishFromAnotherThreadThenDestroy) {
   auto model = nc::bcae::make_bcae_ht(61);
-  BcaeCodec codec(model, Mode::kEval);
+  BcaeWedgeCodec codec(model, Mode::kEval);
   std::atomic<int> received{0};
   {
     nc::codec::StreamCompressor stream(
         codec, /*queue_capacity=*/8, /*batch_size=*/2,
-        [&](CompressedWedge&&) { received.fetch_add(1); });
+        [&](WedgeEnvelope&&) { received.fetch_add(1); });
     for (int i = 0; i < 4; ++i) stream.submit(raw_wedge(static_cast<std::size_t>(i)));
     std::thread finisher([&] { (void)stream.finish(); });
     finisher.join();
@@ -483,11 +485,11 @@ TEST(StreamCompressor, FinishFromAnotherThreadThenDestroy) {
 
 TEST(StreamCompressor, SubmitAfterFinishCountsAsDropped) {
   auto model = nc::bcae::make_bcae_ht(47);
-  BcaeCodec codec(model, Mode::kEval);
+  BcaeWedgeCodec codec(model, Mode::kEval);
   std::atomic<int> received{0};
   nc::codec::StreamCompressor stream(codec, /*queue_capacity=*/8,
                                      /*batch_size=*/2,
-                                     [&](CompressedWedge&&) { received.fetch_add(1); });
+                                     [&](WedgeEnvelope&&) { received.fetch_add(1); });
   const int n = 3;
   for (int i = 0; i < n; ++i) stream.submit(raw_wedge(static_cast<std::size_t>(i)));
   (void)stream.finish();

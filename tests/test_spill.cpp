@@ -33,8 +33,8 @@
 namespace {
 
 namespace fs = std::filesystem;
-using nc::codec::BcaeCodec;
-using nc::codec::CompressedWedge;
+using nc::codec::BcaeWedgeCodec;
+using nc::codec::WedgeEnvelope;
 using nc::codec::SpillLog;
 using nc::codec::SpillOptions;
 using nc::codec::SpillReader;
@@ -423,14 +423,14 @@ TEST_P(SpillPipelineIntake, CompressorBurstMatchesUnboundedRunBitExact) {
   // with the spill tier on yields the same ordered bitstream as a run whose
   // queue holds everything — spilling must be invisible downstream.
   auto model = nc::bcae::make_bcae_ht(81);
-  BcaeCodec codec(model, Mode::kEval);
+  BcaeWedgeCodec codec(model, Mode::kEval);
   const int n = 32;
 
   const auto run = [&](StreamOptions opt) {
-    std::map<std::uint64_t, CompressedWedge> out;  // ordered sink: no lock
+    std::map<std::uint64_t, WedgeEnvelope> out;  // ordered sink: no lock
     StreamCompressor stream(codec, opt,
-                            [&](std::uint64_t seq, CompressedWedge&& cw) {
-                              out.emplace(seq, std::move(cw));
+                            [&](std::uint64_t seq, WedgeEnvelope&& env) {
+                              out.emplace(seq, std::move(env));
                             });
     for (int i = 0; i < n; ++i) {
       EXPECT_TRUE(stream.try_submit(raw_wedge(static_cast<std::size_t>(i))));
@@ -466,10 +466,9 @@ TEST_P(SpillPipelineIntake, CompressorBurstMatchesUnboundedRunBitExact) {
     const auto& a = bout.at(static_cast<std::uint64_t>(i));
     const auto& b = uout.at(static_cast<std::uint64_t>(i));
     EXPECT_EQ(a.wedge_shape, b.wedge_shape);
-    EXPECT_EQ(a.code_shape, b.code_shape);
-    ASSERT_EQ(a.code.size(), b.code.size());
-    EXPECT_EQ(std::memcmp(a.code.data(), b.code.data(),
-                          a.code.size() * sizeof(nc::util::half)),
+    EXPECT_EQ(a.codec_id, b.codec_id);
+    ASSERT_EQ(a.payload.size(), b.payload.size());
+    EXPECT_EQ(std::memcmp(a.payload.data(), b.payload.data(), a.payload.size()),
               0)
         << "wedge " << i << " bitstream diverged";
   }

@@ -17,14 +17,17 @@
 namespace {
 
 using nc::codec::BcaeCodec;
+using nc::codec::BcaeWedgeCodec;
 using nc::codec::CompressedWedge;
 using nc::codec::IntakeMode;
 using nc::codec::StreamCompressor;
 using nc::codec::StreamDecompressor;
 using nc::codec::StreamOptions;
+using nc::codec::WedgeEnvelope;
 using nc::core::Mode;
 using nc::core::Tensor;
 using nc::testutil::compressed_wedges;
+using nc::testutil::enveloped_wedges;
 using nc::testutil::expect_bit_identical;
 using nc::testutil::raw_wedge;
 
@@ -52,9 +55,9 @@ TEST(BcaeCodec, DecompressBatchRejectsInconsistentPayload) {
 
 TEST(StreamDecompressor, UnorderedSingleWorkerMatchesDirectDecompress) {
   auto model = nc::bcae::make_bcae_ht(71);
-  BcaeCodec codec(model, Mode::kEval);
+  BcaeWedgeCodec codec(model, Mode::kEval);
   const int n = 6;
-  const auto cws = compressed_wedges(codec, n);
+  const auto cws = enveloped_wedges(codec, n);
 
   StreamOptions opt;
   opt.queue_capacity = 16;
@@ -89,9 +92,9 @@ NC_INSTANTIATE_BOTH_INTAKES(StreamDecompressorIntake);
 
 TEST_P(StreamDecompressorIntake, UnorderedFourWorkersMatchesDirectDecompress) {
   auto model = nc::bcae::make_bcae_ht(73);
-  BcaeCodec codec(model, Mode::kEval);
+  BcaeWedgeCodec codec(model, Mode::kEval);
   const int n = 16;
-  const auto cws = compressed_wedges(codec, n);
+  const auto cws = enveloped_wedges(codec, n);
 
   StreamOptions opt;
   opt.intake = GetParam();
@@ -118,9 +121,9 @@ TEST_P(StreamDecompressorIntake, UnorderedFourWorkersMatchesDirectDecompress) {
 
 TEST_P(StreamDecompressorIntake, OrderedFourWorkersEmitInSubmissionOrder) {
   auto model = nc::bcae::make_bcae_ht(75);
-  BcaeCodec codec(model, Mode::kEval);
+  BcaeWedgeCodec codec(model, Mode::kEval);
   const int n = 12;
-  const auto cws = compressed_wedges(codec, n);
+  const auto cws = enveloped_wedges(codec, n);
 
   StreamOptions opt;
   opt.intake = GetParam();
@@ -149,11 +152,12 @@ TEST_P(StreamDecompressorIntake, OrderedFourWorkersEmitInSubmissionOrder) {
 
 TEST_P(StreamDecompressorIntake, PoisonedPayloadLandsInFailedWithoutKillingWorkers) {
   auto model = nc::bcae::make_bcae_ht(77);
-  BcaeCodec codec(model, Mode::kEval);
+  BcaeWedgeCodec codec(model, Mode::kEval);
   const int n = 10;
-  auto cws = compressed_wedges(codec, n);
-  // Poison one wedge mid-stream: its payload no longer matches its header.
-  cws[4].code.resize(cws[4].code.size() / 2);
+  auto cws = enveloped_wedges(codec, n);
+  // Poison one wedge mid-stream: its payload is truncated and can no longer
+  // deserialize into a CompressedWedge.
+  cws[4].payload.resize(cws[4].payload.size() / 2);
 
   StreamOptions opt;
   opt.intake = GetParam();
@@ -185,7 +189,7 @@ TEST_P(StreamDecompressorIntake, FullChainCompressSerializeDeserializeDecompress
   // The deployment path end-to-end: StreamCompressor -> byte store ->
   // StreamDecompressor, with seq numbers tying stored blobs to submissions.
   auto model = nc::bcae::make_bcae_ht(79);
-  BcaeCodec codec(model, Mode::kEval);
+  BcaeWedgeCodec codec(model, Mode::kEval);
   const int n = 8;
 
   StreamOptions copt;
@@ -196,9 +200,9 @@ TEST_P(StreamDecompressorIntake, FullChainCompressSerializeDeserializeDecompress
   std::mutex store_mutex;
   std::map<std::uint64_t, std::string> storage;
   StreamCompressor compressor(codec, copt,
-                              [&](std::uint64_t seq, CompressedWedge&& cw) {
+                              [&](std::uint64_t seq, WedgeEnvelope&& env) {
                                 std::ostringstream os;
-                                cw.serialize(os);
+                                env.serialize(os);
                                 std::lock_guard<std::mutex> lock(store_mutex);
                                 storage.emplace(seq, os.str());
                               });
@@ -218,10 +222,10 @@ TEST_P(StreamDecompressorIntake, FullChainCompressSerializeDeserializeDecompress
   std::vector<Tensor> decoded;
   StreamDecompressor decompressor(
       codec, dopt, [&](std::uint64_t, Tensor&& w) { decoded.push_back(std::move(w)); });
-  std::vector<CompressedWedge> deserialized;
+  std::vector<WedgeEnvelope> deserialized;
   for (const auto& [seq, bytes] : storage) {  // map iterates in seq order
     std::istringstream is(bytes);
-    deserialized.push_back(CompressedWedge::deserialize(is));
+    deserialized.push_back(WedgeEnvelope::deserialize(is));
     decompressor.submit(deserialized.back());
   }
   const auto dstats = decompressor.finish();
