@@ -80,8 +80,10 @@ int main() {
                                                truth.at({layer, a, h})));
       }
     }
-    std::printf("%.3f, precision %.3f, recall %.3f\n", max_diff, m.precision,
-                m.recall);
+    std::printf("%.3f, precision %.3f, recall %.3f\n",
+                static_cast<double>(max_diff),
+                static_cast<double>(m.precision),
+                static_cast<double>(m.recall));
     return m.mae;
   };
 

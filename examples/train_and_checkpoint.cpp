@@ -3,7 +3,7 @@
 ///        paper's schedule, evaluate on the test split in both precision
 ///        modes, and save/restore a checkpoint.
 ///
-/// Run:  ./train_and_checkpoint --variant bcae-2d --epochs 6 \
+/// Run:  ./train_and_checkpoint --variant bcae-2d --epochs 6
 ///           --checkpoint /tmp/bcae.ckpt
 #include <cstdio>
 #include <stdexcept>

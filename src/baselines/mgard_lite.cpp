@@ -23,7 +23,7 @@ core::Tensor downsample(const core::Tensor& t) {
           for (std::int64_t dk = 0; dk < 2; ++dk) {
             const std::int64_t j2 = j * 2 + dj, k2 = k * 2 + dk;
             if (j2 < d1 && k2 < d2) {
-              acc += t.at({i, j2, k2});
+              acc += static_cast<double>(t.at({i, j2, k2}));
               ++cnt;
             }
           }
@@ -56,7 +56,8 @@ void encode_residual(ByteWriter& w, core::Tensor& base,
                      const core::Tensor& truth, double two_eb) {
   QuantEncoder enc(w);
   for (std::int64_t i = 0; i < truth.numel(); ++i) {
-    const double res = static_cast<double>(truth[i]) - base[i];
+    const double res =
+        static_cast<double>(truth[i]) - static_cast<double>(base[i]);
     const auto bin = static_cast<std::int64_t>(std::llround(res / two_eb));
     enc.put_bin(bin);
     if (bin != 0) base[i] += static_cast<float>(bin * two_eb);
@@ -119,7 +120,8 @@ std::vector<std::uint8_t> MgardLite::compress(const core::Tensor& wedge) const {
   for (int l = levels_ - 1; l >= 0; --l) {
     const core::Tensor& truth = pyramid[static_cast<std::size_t>(l)];
     core::Tensor up = upsample(recon, truth.dim(1), truth.dim(2));
-    const double level_eb = (l == 0) ? eb_ : eb_ * 0.5;
+    const double level_eb =
+        (l == 0) ? static_cast<double>(eb_) : static_cast<double>(eb_) * 0.5;
     encode_residual(w, up, truth, 2.0 * level_eb);
     recon = std::move(up);
   }
@@ -147,7 +149,8 @@ core::Tensor MgardLite::decompress(const std::vector<std::uint8_t>& bytes) const
   for (int l = levels - 1; l >= 0; --l) {
     core::Tensor up = upsample(recon, dims[static_cast<std::size_t>(l)].first,
                                dims[static_cast<std::size_t>(l)].second);
-    const double level_eb = (l == 0) ? eb : eb * 0.5;
+    const double level_eb =
+        (l == 0) ? static_cast<double>(eb) : static_cast<double>(eb) * 0.5;
     decode_residual(r, up, 2.0 * level_eb);
     recon = std::move(up);
   }

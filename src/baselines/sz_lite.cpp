@@ -22,7 +22,7 @@ std::vector<std::uint8_t> SzLite::compress(const core::Tensor& wedge) const {
   const std::int64_t row = wedge.ndim() >= 1 ? wedge.dim(wedge.ndim() - 1) : 1;
   const std::int64_t rows = row ? wedge.numel() / row : 0;
   const float* x = wedge.data();
-  const double two_eb = 2.0 * eb_;
+  const double two_eb = 2.0 * static_cast<double>(eb_);
 
   QuantEncoder enc(w);
   for (std::int64_t r = 0; r < rows; ++r) {
@@ -51,7 +51,7 @@ core::Tensor SzLite::decompress(const std::vector<std::uint8_t>& bytes) const {
   ByteReader r(bytes);
   const core::Shape shape = read_shape(r);
   const float eb = r.get_f32();
-  const double two_eb = 2.0 * eb;
+  const double two_eb = 2.0 * static_cast<double>(eb);
 
   core::Tensor out(shape);
   const std::int64_t row = out.ndim() >= 1 ? out.dim(out.ndim() - 1) : 1;

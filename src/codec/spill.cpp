@@ -251,17 +251,22 @@ void SpillLog::close() {
   }
 }
 
-SpillReader::SpillReader(const std::string& path)
-    : in_(path, std::ios::binary), path_(path) {
-  if (!in_) {
-    throw util::SerializeError("cannot open spill segment: " + path);
-  }
-  const std::uint32_t version = util::read_magic(in_, kSpillKind);
+std::uint32_t read_spill_segment_header(std::istream& is) {
+  const std::uint32_t version = util::read_magic(is, kSpillKind);
   if (version != SpillLog::kFormatVersion) {
     throw util::SerializeError(
         "unsupported spill segment version " + std::to_string(version) +
         " (expected " + std::to_string(SpillLog::kFormatVersion) + ")");
   }
+  return version;
+}
+
+SpillReader::SpillReader(const std::string& path)
+    : in_(path, std::ios::binary), path_(path) {
+  if (!in_) {
+    throw util::SerializeError("cannot open spill segment: " + path);
+  }
+  read_spill_segment_header(in_);
 }
 
 bool SpillReader::next(SpillRecord& out) {

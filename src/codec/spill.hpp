@@ -79,6 +79,12 @@ struct SpillRecord {
 /// length, or a CRC mismatch.
 SpillRecord read_spill_record(std::istream& is);
 
+/// Validate a segment's magic + version header and return the version.
+/// Throws util::SerializeError on a bad magic or an unsupported version.
+/// Shared by SpillReader and the fuzz harness so in-memory fuzzing drives
+/// exactly the file-open code path.
+std::uint32_t read_spill_segment_header(std::istream& is);
+
 /// Disk-backed FIFO of spill records (see file comment).
 class SpillLog {
  public:

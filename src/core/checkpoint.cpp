@@ -13,9 +13,11 @@ constexpr std::uint32_t kVersion = 1;
 
 // A corrupt file must fail with SerializeError before any allocation, not
 // with bad_alloc (or silent overflow) inside std::vector.  The largest BCAE
-// parameter is a few MB; 2^28 floats (1 GiB) is far beyond any real model
-// while still small enough that the guarded allocation cannot itself OOM.
-constexpr std::int64_t kMaxTensorElems = std::int64_t{1} << 28;
+// parameter is a few MB; 2^24 floats (64 MiB) leaves 16x headroom while
+// bounding what a corrupt-but-in-range dims field can make us allocate —
+// the fuzzer showed the previous 1 GiB cap let mutated checkpoints spend
+// seconds in page-zeroing, a cheap DoS on the load path.
+constexpr std::int64_t kMaxTensorElems = std::int64_t{1} << 24;
 }  // namespace
 
 void save_checkpoint(std::ostream& os, const std::vector<Param*>& params) {

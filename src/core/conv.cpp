@@ -49,7 +49,7 @@ void accum_bias_grad(const float* gy_mat, float* gb, std::int64_t rows,
   for (std::int64_t r = 0; r < rows; ++r) {
     const float* row = gy_mat + r * cols;
     double acc = 0.0;
-    for (std::int64_t j = 0; j < cols; ++j) acc += row[j];
+    for (std::int64_t j = 0; j < cols; ++j) acc += static_cast<double>(row[j]);
     gb[r] += static_cast<float>(acc);
   }
 }

@@ -14,7 +14,7 @@ double weighted_sum(const Tensor& out, const Tensor& r) {
   const float* rp = r.data();
   double acc = 0.0;
   for (std::int64_t i = 0; i < out.numel(); ++i) {
-    acc += static_cast<double>(op[i]) * rp[i];
+    acc += static_cast<double>(op[i]) * static_cast<double>(rp[i]);
   }
   return acc;
 }

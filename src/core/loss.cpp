@@ -101,7 +101,7 @@ LossValue masked_mae_loss(const Tensor& pred, const Tensor& target,
 #endif
   for (std::int64_t i = 0; i < m; ++i) {
     if (zp[i] > z_cut) {
-      const double d = static_cast<double>(vp[i]) - tp[i];
+      const double d = static_cast<double>(vp[i]) - static_cast<double>(tp[i]);
       acc += std::abs(d);
       gp[i] = static_cast<float>(inv_m * (d > 0.0 ? 1.0 : (d < 0.0 ? -1.0 : 0.0)));
     } else {
@@ -127,7 +127,7 @@ LossValue mae_loss(const Tensor& pred, const Tensor& target) {
 #pragma omp parallel for reduction(+ : acc) schedule(static) if (m > (1 << 14))
 #endif
   for (std::int64_t i = 0; i < m; ++i) {
-    const double d = static_cast<double>(vp[i]) - tp[i];
+    const double d = static_cast<double>(vp[i]) - static_cast<double>(tp[i]);
     acc += std::abs(d);
     gp[i] = static_cast<float>(inv_m * (d > 0.0 ? 1.0 : (d < 0.0 ? -1.0 : 0.0)));
   }
@@ -149,7 +149,7 @@ LossValue mse_loss(const Tensor& pred, const Tensor& target) {
 #pragma omp parallel for reduction(+ : acc) schedule(static) if (m > (1 << 14))
 #endif
   for (std::int64_t i = 0; i < m; ++i) {
-    const double d = static_cast<double>(vp[i]) - tp[i];
+    const double d = static_cast<double>(vp[i]) - static_cast<double>(tp[i]);
     acc += d * d;
     gp[i] = static_cast<float>(inv_m * 2.0 * d);
   }

@@ -44,8 +44,9 @@ Tensor InstanceNorm::forward(const Tensor& x, Mode mode) {
         float* hat_p = hp + plane * spatial;
         double s = 0.0, s2 = 0.0;
         for (std::int64_t i = 0; i < spatial; ++i) {
-          s += in_p[i];
-          s2 += static_cast<double>(in_p[i]) * in_p[i];
+          const double xi = in_p[i];
+          s += xi;
+          s2 += xi * xi;
         }
         const double mean = s / static_cast<double>(spatial);
         const double var = s2 / static_cast<double>(spatial) - mean * mean;
@@ -91,8 +92,8 @@ Tensor InstanceNorm::backward(const Tensor& gy) {
       const float* g_p = gp + plane * spatial;
       const float* h_p = hp + plane * spatial;
       for (std::int64_t i = 0; i < spatial; ++i) {
-        gg += static_cast<double>(g_p[i]) * h_p[i];
-        gb += g_p[i];
+        gg += static_cast<double>(g_p[i]) * static_cast<double>(h_p[i]);
+        gb += static_cast<double>(g_p[i]);
       }
     }
     ggamma[c] += static_cast<float>(gg);
@@ -108,8 +109,8 @@ Tensor InstanceNorm::backward(const Tensor& gy) {
         float* out_p = op + plane * spatial;
         double sum_g = 0.0, sum_gh = 0.0;
         for (std::int64_t i = 0; i < spatial; ++i) {
-          sum_g += g_p[i];
-          sum_gh += static_cast<double>(g_p[i]) * h_p[i];
+          sum_g += static_cast<double>(g_p[i]);
+          sum_gh += static_cast<double>(g_p[i]) * static_cast<double>(h_p[i]);
         }
         const float mg = static_cast<float>(sum_g / static_cast<double>(spatial));
         const float mgh = static_cast<float>(sum_gh / static_cast<double>(spatial));

@@ -36,14 +36,14 @@ void AdamW::step() {
         0, n,
         [&](std::int64_t i) {
           const double gi = g[i];
-          const double mi = b1 * m[i] + (1.0 - b1) * gi;
-          const double vi = b2 * v[i] + (1.0 - b2) * gi * gi;
+          const double mi = b1 * static_cast<double>(m[i]) + (1.0 - b1) * gi;
+          const double vi = b2 * static_cast<double>(v[i]) + (1.0 - b2) * gi * gi;
           m[i] = static_cast<float>(mi);
           v[i] = static_cast<float>(vi);
           const double mhat = mi / bias1;
           const double vhat = vi / bias2;
           // decoupled weight decay, then the Adam update
-          double wi = w[i] * (1.0 - lr * wd);
+          double wi = static_cast<double>(w[i]) * (1.0 - lr * wd);
           wi -= lr * mhat / (std::sqrt(vhat) + eps);
           w[i] = static_cast<float>(wi);
         },

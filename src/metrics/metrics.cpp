@@ -23,11 +23,11 @@ ReconstructionMetrics evaluate_reconstruction(const core::Tensor& recon,
                                        actual_pos) schedule(static) if (n > (1 << 16))
 #endif
   for (std::int64_t i = 0; i < n; ++i) {
-    const double d = static_cast<double>(rp[i]) - tp[i];
+    const double d = static_cast<double>(rp[i]) - static_cast<double>(tp[i]);
     abs_sum += std::abs(d);
     sq_sum += d * d;
     const bool pred = rp[i] > 0.f;
-    const bool actual = tp[i] > positive_threshold;
+    const bool actual = static_cast<double>(tp[i]) > positive_threshold;
     pred_pos += pred ? 1 : 0;
     actual_pos += actual ? 1 : 0;
     tp_count += (pred && actual) ? 1 : 0;

@@ -31,7 +31,8 @@ class Digitizer {
 
   /// Convert one voxel's charge to a zero-suppressed ADC count.
   std::uint16_t digitize_voxel(float charge, util::Rng& rng) const {
-    const double raw = config_.gain * charge + rng.normal(0.0, config_.noise_sigma);
+    const double raw = config_.gain * static_cast<double>(charge) +
+                       rng.normal(0.0, config_.noise_sigma);
     if (raw < config_.zs_threshold) return 0;
     const double clamped = std::min(raw, static_cast<double>(config_.adc_max));
     return static_cast<std::uint16_t>(clamped + 0.5);

@@ -50,7 +50,9 @@ double read_f64(std::istream& is) { return read_raw<double>(is); }
 
 std::string read_string(std::istream& is) {
   const std::uint64_t n = read_u64(is);
-  if (n > (1ull << 30)) throw SerializeError("string length implausible");
+  // Serialized strings are parameter names — a corrupt length must not buy
+  // a giant allocation (1 MiB is orders of magnitude above any real name).
+  if (n > (1ull << 20)) throw SerializeError("string length implausible");
   std::string s(n, '\0');
   read_bytes(is, s.data(), n);
   return s;

@@ -56,12 +56,14 @@ template <typename T>
 std::vector<T> read_pod_vector(std::istream& is) {
   static_assert(std::is_trivially_copyable_v<T>);
   const std::uint64_t n = read_u64(is);
-  // Guard against absurd lengths from corrupt files (16 GiB cap).
-  if (n * sizeof(T) > (1ull << 34)) {
+  // Guard against absurd lengths from corrupt files (16 GiB cap).  Compare
+  // in element units: `n * sizeof(T)` can wrap at 2^64 and smuggle a huge
+  // count straight into the allocation below.
+  if (n > (1ull << 34) / sizeof(T)) {
     throw SerializeError("pod vector length implausible: " + std::to_string(n));
   }
-  std::vector<T> v(n);
-  read_bytes(is, v.data(), n * sizeof(T));
+  std::vector<T> v(static_cast<std::size_t>(n));
+  read_bytes(is, v.data(), static_cast<std::size_t>(n) * sizeof(T));
   return v;
 }
 

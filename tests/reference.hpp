@@ -24,7 +24,7 @@ inline void naive_gemm(bool trans_a, bool trans_b, std::int64_t m,
       for (std::int64_t kk = 0; kk < k; ++kk) {
         const float av = trans_a ? a[kk * lda + i] : a[i * lda + kk];
         const float bv = trans_b ? b[j * ldb + kk] : b[kk * ldb + j];
-        acc += static_cast<double>(av) * bv;
+        acc += static_cast<double>(av) * static_cast<double>(bv);
       }
       c[i * ldc + j] = alpha * static_cast<float>(acc) + beta * c[i * ldc + j];
     }
@@ -46,16 +46,15 @@ inline nc::core::Tensor naive_conv2d(const nc::core::Tensor& x,
     for (std::int64_t oc = 0; oc < o; ++oc)
       for (std::int64_t oy = 0; oy < oh; ++oy)
         for (std::int64_t ox = 0; ox < ow; ++ox) {
-          double acc = bias ? bias[oc] : 0.0;
+          double acc = bias ? static_cast<double>(bias[oc]) : 0.0;
           for (std::int64_t ic = 0; ic < c; ++ic)
             for (std::int64_t ky = 0; ky < kh; ++ky)
               for (std::int64_t kx = 0; kx < kw; ++kx) {
                 const std::int64_t iy = oy * sh - ph + ky;
                 const std::int64_t ix = ox * sw - pw + kx;
                 if (iy < 0 || iy >= h || ix < 0 || ix >= wd) continue;
-                acc += static_cast<double>(
-                           x.at({s, ic, iy, ix})) *
-                       w.at({oc, ic, ky, kx});
+                acc += static_cast<double>(x.at({s, ic, iy, ix})) *
+                       static_cast<double>(w.at({oc, ic, ky, kx}));
               }
           out.at({s, oc, oy, ox}) = static_cast<float>(acc);
         }
@@ -81,7 +80,7 @@ inline nc::core::Tensor naive_conv3d(const nc::core::Tensor& x,
       for (std::int64_t oz = 0; oz < od; ++oz)
         for (std::int64_t oy = 0; oy < oh; ++oy)
           for (std::int64_t ox = 0; ox < ow; ++ox) {
-            double acc = bias ? bias[oc] : 0.0;
+            double acc = bias ? static_cast<double>(bias[oc]) : 0.0;
             for (std::int64_t ic = 0; ic < c; ++ic)
               for (std::int64_t kz = 0; kz < kd; ++kz)
                 for (std::int64_t ky = 0; ky < kh; ++ky)
@@ -93,7 +92,7 @@ inline nc::core::Tensor naive_conv3d(const nc::core::Tensor& x,
                         ix >= wd)
                       continue;
                     acc += static_cast<double>(x.at({s, ic, iz, iy, ix})) *
-                           w.at({oc, ic, kz, ky, kx});
+                           static_cast<double>(w.at({oc, ic, kz, ky, kx}));
                   }
             out.at({s, oc, oz, oy, ox}) = static_cast<float>(acc);
           }
@@ -148,7 +147,8 @@ inline nc::core::Tensor random_tensor(nc::core::Shape shape, std::uint64_t seed)
 inline double max_abs_diff(const nc::core::Tensor& a, const nc::core::Tensor& b) {
   double m = 0.0;
   for (std::int64_t i = 0; i < a.numel(); ++i) {
-    m = std::max(m, std::abs(static_cast<double>(a[i]) - b[i]));
+    m = std::max(
+        m, std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i])));
   }
   return m;
 }

@@ -48,8 +48,8 @@ class IntakeParamTest : public ::testing::TestWithParam<codec::IntakeMode> {
       BothIntakes, suite,                                                \
       ::testing::Values(::nc::codec::IntakeMode::kSingleQueue,           \
                         ::nc::codec::IntakeMode::kSharded),              \
-      [](const ::testing::TestParamInfo<::nc::codec::IntakeMode>& info) { \
-        return std::string(::nc::codec::to_string(info.param));          \
+      [](const ::testing::TestParamInfo<::nc::codec::IntakeMode>& tpi) {  \
+        return std::string(::nc::codec::to_string(tpi.param));           \
       })
 
 /// One-shot gate a transform blocks on to stall a worker mid-batch.

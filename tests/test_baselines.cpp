@@ -68,7 +68,8 @@ TEST_P(ErrorBoundedParam, SzLiteRespectsErrorBound) {
   const auto bytes = codec.compress(w);
   const Tensor back = codec.decompress(bytes);
   ASSERT_EQ(back.shape(), w.shape());
-  EXPECT_LE(nc::testref::max_abs_diff(w, back), eb + 1e-5);
+  EXPECT_LE(nc::testref::max_abs_diff(w, back),
+            static_cast<double>(eb) + 1e-5);
 }
 
 TEST_P(ErrorBoundedParam, MgardLiteRespectsErrorBound) {
@@ -78,7 +79,8 @@ TEST_P(ErrorBoundedParam, MgardLiteRespectsErrorBound) {
   const auto bytes = codec.compress(w);
   const Tensor back = codec.decompress(bytes);
   ASSERT_EQ(back.shape(), w.shape());
-  EXPECT_LE(nc::testref::max_abs_diff(w, back), eb + 1e-5);
+  EXPECT_LE(nc::testref::max_abs_diff(w, back),
+            static_cast<double>(eb) + 1e-5);
 }
 
 INSTANTIATE_TEST_SUITE_P(ErrorBounds, ErrorBoundedParam,
@@ -165,8 +167,8 @@ TEST(ZfpLite, HigherRateIsMoreAccurate) {
   const Tensor back_high = high.decompress(high.compress(w));
   double mae_low = 0, mae_high = 0;
   for (std::int64_t i = 0; i < w.numel(); ++i) {
-    mae_low += std::abs(static_cast<double>(w[i]) - back_low[i]);
-    mae_high += std::abs(static_cast<double>(w[i]) - back_high[i]);
+    mae_low += std::abs(static_cast<double>(w[i]) - static_cast<double>(back_low[i]));
+    mae_high += std::abs(static_cast<double>(w[i]) - static_cast<double>(back_high[i]));
   }
   EXPECT_LT(mae_high, mae_low);
 }

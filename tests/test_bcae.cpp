@@ -152,7 +152,8 @@ TEST(BcaeModel, HalfModeMatchesFullForAllVariants) {
     const Tensor half = model.encode(x, Mode::kEvalHalf);
     const float scale = std::max(std::abs(nc::core::max_value(full)),
                                  std::abs(nc::core::min_value(full)));
-    EXPECT_LT(nc::testref::max_abs_diff(full, half), 0.01 * (scale + 1.f));
+    EXPECT_LT(nc::testref::max_abs_diff(full, half),
+              0.01 * (static_cast<double>(scale) + 1.0));
   }
   {
     auto model = nc::bcae::make_bcae_ht(5);
@@ -161,7 +162,8 @@ TEST(BcaeModel, HalfModeMatchesFullForAllVariants) {
     const Tensor half = model.encode(x, Mode::kEvalHalf);
     const float scale = std::max(std::abs(nc::core::max_value(full)),
                                  std::abs(nc::core::min_value(full)));
-    EXPECT_LT(nc::testref::max_abs_diff(full, half), 0.01 * (scale + 1.f));
+    EXPECT_LT(nc::testref::max_abs_diff(full, half),
+              0.01 * (static_cast<double>(scale) + 1.0));
   }
 }
 

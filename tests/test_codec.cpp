@@ -109,7 +109,7 @@ TEST(BcaeCodec, HalfAndFullModeCodesAgree) {
   for (std::size_t i = 0; i < cf.code.size(); ++i) {
     max_diff = std::max(max_diff,
                         std::abs(static_cast<double>(static_cast<float>(cf.code[i])) -
-                                 static_cast<float>(ch.code[i])));
+                                 static_cast<double>(static_cast<float>(ch.code[i]))));
     scale = std::max(scale, std::abs(static_cast<double>(static_cast<float>(cf.code[i]))));
   }
   EXPECT_LT(max_diff, 0.02 * (scale + 1.0));
@@ -271,8 +271,8 @@ class StreamCompressorIntake : public ::testing::TestWithParam<IntakeMode> {};
 INSTANTIATE_TEST_SUITE_P(
     BothIntakes, StreamCompressorIntake,
     ::testing::Values(IntakeMode::kSingleQueue, IntakeMode::kSharded),
-    [](const ::testing::TestParamInfo<IntakeMode>& info) {
-      return std::string(nc::codec::to_string(info.param));
+    [](const ::testing::TestParamInfo<IntakeMode>& tpi) {
+      return std::string(nc::codec::to_string(tpi.param));
     });
 
 TEST_P(StreamCompressorIntake, MultiWorkerCompressesEverySubmittedWedge) {

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -69,9 +70,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(IntakeMode::kSingleQueue,
                                          IntakeMode::kSharded),
                        ::testing::ValuesIn(nc::codec::registered_codec_names())),
-    [](const ::testing::TestParamInfo<std::tuple<IntakeMode, std::string>>& info) {
-      std::string name = std::string(nc::codec::to_string(std::get<0>(info.param))) +
-                         "_" + std::get<1>(info.param);
+    [](const ::testing::TestParamInfo<std::tuple<IntakeMode, std::string>>& tpi) {
+      std::string name = std::string(nc::codec::to_string(std::get<0>(tpi.param))) +
+                         "_" + std::get<1>(tpi.param);
       for (auto& c : name) {
         if (c == '-') c = '_';
       }
@@ -171,11 +172,16 @@ TEST_P(CodecArena, TruncatedPayloadFailsWedgeWithoutKillingStream) {
 
 // --- envelope wire-format hardening (codec-independent) ---------------------
 
+// Wire layout: magic "NCMP"+"WENV" (8) | u32 version (at 8) | u32 codec_id
+// (at 12) | 3x i64 wedge dims (at 16) | u64 payload length (at 40) | payload.
+constexpr std::size_t kEnvVersionOffset = 8;
+constexpr std::size_t kEnvCodecIdOffset = 12;
+constexpr std::size_t kEnvPayloadLenOffset = 40;
+
 TEST(WedgeEnvelope, DeserializeRejectsUnknownCodecId) {
   const auto codec = arena_codec("zfp");
   auto bytes = serialized(codec->compress(raw_wedge(0)));
-  // Wire layout: magic(4) + version(4) + codec_id(u32 at offset 8).
-  bytes[8] = 0x7F;  // id 127: in no registry, present or future
+  bytes[kEnvCodecIdOffset] = 0x7F;  // id 127: in no registry, present or future
   std::istringstream is(bytes);
   EXPECT_THROW((void)WedgeEnvelope::deserialize(is), SerializeError);
 }
@@ -183,7 +189,31 @@ TEST(WedgeEnvelope, DeserializeRejectsUnknownCodecId) {
 TEST(WedgeEnvelope, DeserializeRejectsVersionBump) {
   const auto codec = arena_codec("sz");
   auto bytes = serialized(codec->compress(raw_wedge(0)));
-  bytes[4] = 0x2;  // version 2 does not exist yet
+  bytes[kEnvVersionOffset] = 0x2;  // version 2 does not exist yet
+  std::istringstream is(bytes);
+  EXPECT_THROW((void)WedgeEnvelope::deserialize(is), SerializeError);
+}
+
+TEST(WedgeEnvelope, DeserializeRejectsPayloadLengthBeyondBuffer) {
+  // A length field pointing past the end of the actual bytes must surface
+  // as SerializeError from the bounded payload read — not a giant
+  // allocation, not a short read silently accepted.
+  const auto codec = arena_codec("zfp");
+  auto bytes = serialized(codec->compress(raw_wedge(0)));
+  const std::uint64_t claimed =
+      bytes.size();  // > remaining payload by the header size
+  std::memcpy(bytes.data() + kEnvPayloadLenOffset, &claimed, sizeof(claimed));
+  std::istringstream is(bytes);
+  EXPECT_THROW((void)WedgeEnvelope::deserialize(is), SerializeError);
+}
+
+TEST(WedgeEnvelope, DeserializeRejectsHugePayloadLengthWithoutAllocating) {
+  // Same attack with an absurd length: the plausibility cap must reject it
+  // before any allocation happens.
+  const auto codec = arena_codec("sz");
+  auto bytes = serialized(codec->compress(raw_wedge(0)));
+  const std::uint64_t claimed = std::uint64_t{1} << 62;
+  std::memcpy(bytes.data() + kEnvPayloadLenOffset, &claimed, sizeof(claimed));
   std::istringstream is(bytes);
   EXPECT_THROW((void)WedgeEnvelope::deserialize(is), SerializeError);
 }

@@ -86,12 +86,14 @@ TEST(Im2col, Col2imIsAdjoint) {
   std::vector<float> cols(static_cast<std::size_t>(g.rows() * g.cols()));
   nc::core::im2col_2d(x.data(), g, cols.data());
   double lhs = 0.0;
-  for (std::int64_t i = 0; i < c.numel(); ++i) lhs += static_cast<double>(c[i]) * cols[static_cast<std::size_t>(i)];
+  for (std::int64_t i = 0; i < c.numel(); ++i) lhs += static_cast<double>(c[i]) *
+               static_cast<double>(cols[static_cast<std::size_t>(i)]);
 
   std::vector<float> img(static_cast<std::size_t>(g.c * g.h * g.w), 0.f);
   nc::core::col2im_2d(c.data(), g, img.data());
   double rhs = 0.0;
-  for (std::int64_t i = 0; i < x.numel(); ++i) rhs += static_cast<double>(x[i]) * img[static_cast<std::size_t>(i)];
+  for (std::int64_t i = 0; i < x.numel(); ++i) rhs += static_cast<double>(x[i]) *
+               static_cast<double>(img[static_cast<std::size_t>(i)]);
 
   EXPECT_NEAR(lhs, rhs, 1e-3);
 }
@@ -117,12 +119,14 @@ TEST(Vol2col, Col2volIsAdjoint) {
   std::vector<float> cols(static_cast<std::size_t>(g.rows() * g.cols()));
   nc::core::vol2col_3d(x.data(), g, cols.data());
   double lhs = 0.0;
-  for (std::int64_t i = 0; i < c.numel(); ++i) lhs += static_cast<double>(c[i]) * cols[static_cast<std::size_t>(i)];
+  for (std::int64_t i = 0; i < c.numel(); ++i) lhs += static_cast<double>(c[i]) *
+               static_cast<double>(cols[static_cast<std::size_t>(i)]);
 
   std::vector<float> vol(static_cast<std::size_t>(g.c * g.d * g.h * g.w), 0.f);
   nc::core::col2vol_3d(c.data(), g, vol.data());
   double rhs = 0.0;
-  for (std::int64_t i = 0; i < x.numel(); ++i) rhs += static_cast<double>(x[i]) * vol[static_cast<std::size_t>(i)];
+  for (std::int64_t i = 0; i < x.numel(); ++i) rhs += static_cast<double>(x[i]) *
+               static_cast<double>(vol[static_cast<std::size_t>(i)]);
 
   EXPECT_NEAR(lhs, rhs, 1e-3);
 }

@@ -150,7 +150,7 @@ TEST(InstanceNorm, NormalizesPerChannelPerSample) {
     for (std::int64_t c = 0; c < 3; ++c) {
       double s = 0, s2 = 0;
       for (std::int64_t i = 0; i < 64; ++i) {
-        const float v = y[((n * 3 + c) * 64) + i];
+        const double v = static_cast<double>(y[((n * 3 + c) * 64) + i]);
         s += v;
         s2 += v * v;
       }

@@ -76,7 +76,8 @@ TEST(Quantize, Conv2dInt8ForwardCloseToFloat) {
   ASSERT_EQ(int8.shape(), full.shape());
   const float scale = std::max(std::abs(nc::core::max_value(full)),
                                std::abs(nc::core::min_value(full)));
-  EXPECT_LT(nc::testref::max_abs_diff(full, int8), 0.05 * (scale + 1.f));
+  EXPECT_LT(nc::testref::max_abs_diff(full, int8),
+            0.05 * (static_cast<double>(scale) + 1.0));
 }
 
 TEST(Quantize, EncoderInt8CodeCloseToFloat) {
@@ -93,7 +94,8 @@ TEST(Quantize, EncoderInt8CodeCloseToFloat) {
   // int8 error accumulates across ~10 conv layers; 10% of dynamic range is
   // the loose-but-meaningful contract (the ablation bench quantifies the
   // accuracy cost on real reconstructions).
-  EXPECT_LT(nc::testref::max_abs_diff(full, int8), 0.1 * (scale + 1.f));
+  EXPECT_LT(nc::testref::max_abs_diff(full, int8),
+            0.1 * (static_cast<double>(scale) + 1.0));
 }
 
 TEST(Quantize, Int8CacheInvalidationPicksUpNewWeights) {
@@ -106,7 +108,8 @@ TEST(Quantize, Int8CacheInvalidationPicksUpNewWeights) {
   params[0]->value[0] *= 2.f;
   conv.invalidate_half_cache();
   const Tensor after = conv.forward(x, Mode::kEvalInt8);
-  EXPECT_NEAR(after[0], before[0] * 2.f, std::abs(before[0]) * 0.05 + 1e-4);
+  EXPECT_NEAR(after[0], before[0] * 2.f,
+              static_cast<double>(std::abs(before[0])) * 0.05 + 1e-4);
 }
 
 TEST(Prune, ZeroesRequestedFractionGlobally) {

@@ -230,6 +230,32 @@ TEST(SpillReader, FlippedPayloadByteFailsCrc) {
   EXPECT_THROW(reader.next(rec), SerializeError);
 }
 
+TEST(SpillReader, ZeroByteSegmentRejected) {
+  // A zero-byte file (open() succeeded, the header write never landed —
+  // e.g. disk filled between open and flush) must fail the magic check,
+  // not read uninitialized garbage or report a clean empty log.
+  const std::string dir = fresh_dir();
+  fs::create_directories(dir);
+  const std::string path = dir + "/empty.seg";
+  { std::ofstream f(path, std::ios::binary); }
+  ASSERT_TRUE(fs::exists(path));
+  ASSERT_EQ(fs::file_size(path), 0u);
+  EXPECT_THROW(SpillReader reader(path), SerializeError);
+}
+
+TEST(SpillReader, TruncatedMidSegmentHeaderRejected) {
+  // Chop inside the 12-byte segment header itself (mid-magic and
+  // mid-version): the constructor must throw, as existing tests only cover
+  // cuts inside a record.
+  const std::string dir = fresh_dir();
+  const std::string path = write_kept_segment(dir, 1);
+  for (const std::uintmax_t keep : {5u, 10u}) {
+    fs::resize_file(path, keep);
+    EXPECT_THROW(SpillReader reader(path), SerializeError)
+        << "segment truncated to " << keep << " bytes must not parse";
+  }
+}
+
 TEST(SpillReader, UnknownVersionRejected) {
   const std::string dir = fresh_dir();
   const std::string path = write_kept_segment(dir, 1);

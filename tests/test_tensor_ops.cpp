@@ -110,8 +110,10 @@ TEST(Ops, LargeTensorParallelReductionMatchesSerial) {
   // Exercise the OpenMP reduction path (> 2^16 elements).
   Tensor t = nc::testref::random_tensor({1 << 18}, 77);
   double serial = 0.0;
-  for (std::int64_t i = 0; i < t.numel(); ++i) serial += t[i];
-  EXPECT_NEAR(nc::core::sum(t), serial, 1e-6 * t.numel());
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    serial += static_cast<double>(t[i]);
+  }
+  EXPECT_NEAR(nc::core::sum(t), serial, 1e-6 * static_cast<double>(t.numel()));
 }
 
 }  // namespace

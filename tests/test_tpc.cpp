@@ -220,9 +220,13 @@ TEST_F(EventGenTest, WedgesTileTheEventExactly) {
   const auto& e = event();
   const auto wedges = gen.slice_wedges(e);
   double event_sum = 0, wedge_sum = 0;
-  for (const auto v : e.adc) event_sum += nc::tpc::log_adc(v);
+  for (const auto v : e.adc) {
+    event_sum += static_cast<double>(nc::tpc::log_adc(v));
+  }
   for (const auto& w : wedges) {
-    for (std::int64_t i = 0; i < w.numel(); ++i) wedge_sum += w[i];
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      wedge_sum += static_cast<double>(w[i]);
+    }
   }
   EXPECT_NEAR(event_sum, wedge_sum, 1e-9 * event_sum + 1e-6);
 }

@@ -89,7 +89,7 @@ TEST(Cli, UnregisteredGetThrows) {
 TEST(Timer, MeasuresElapsedTime) {
   nc::util::Timer t;
   volatile double sink = 0;
-  for (int i = 0; i < 1000000; ++i) sink += i;
+  for (int i = 0; i < 1000000; ++i) sink = sink + i;
   EXPECT_GT(t.elapsed_s(), 0.0);
   EXPECT_NEAR(t.elapsed_ms(), t.elapsed_s() * 1e3, t.elapsed_ms() * 0.5);
 }
@@ -99,7 +99,7 @@ TEST(Accumulator, SumsWindows) {
   for (int i = 0; i < 3; ++i) {
     acc.start();
     volatile double sink = 0;
-    for (int j = 0; j < 100000; ++j) sink += j;
+    for (int j = 0; j < 100000; ++j) sink = sink + j;
     acc.stop();
   }
   EXPECT_EQ(acc.count(), 3u);

@@ -1,0 +1,209 @@
+/// \file det_main.cpp
+/// \brief Deterministic structure-aware fuzz driver (the ctest half of the
+///        fuzz harnesses — see fuzz_common.hpp for the contract).
+///
+/// Unlike libFuzzer this needs no special compiler support, so it runs on
+/// every CI configuration — in particular inside the ASan+UBSan job, where
+/// `-fno-sanitize-recover=all` turns any memory bug or UB hit by a mutated
+/// input into a hard test failure.
+///
+/// Determinism: SplitMix64 seeded from --seed only, so a failure is exactly
+/// reproducible from `--seed S`.  An escaping exception dumps the offending
+/// input to crash-<fmt>.bin (ready to commit as a corpus regression) before
+/// rethrowing; a sanitizer abort is reproduced by rerunning with the same
+/// seed under a debugger.
+///
+/// Usage: fuzz_<fmt>_det [--iters N] [--seed S] [--dump-corpus DIR]
+///                       [corpus_dir ...]
+///   corpus dirs are replayed unmutated first (regression check), then
+///   their entries join the generated corpus as mutation seeds.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz_common.hpp"
+
+namespace {
+
+/// SplitMix64: tiny, seedable, and stable across platforms — the whole run
+/// is a pure function of --seed.
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [0, bound); bound must be nonzero.
+  std::size_t below(std::size_t bound) {
+    return static_cast<std::size_t>(next() % bound);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// One structure-aware mutation. Seeds are valid wire buffers, so flips hit
+/// live header fields and splices join two real messages mid-record.
+Bytes mutate(const std::vector<Bytes>& seeds, Prng& rng) {
+  Bytes buf = seeds[rng.below(seeds.size())];
+  const std::size_t rounds = 1 + rng.below(4);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    switch (rng.below(6)) {
+      case 0:  // flip one bit
+        if (!buf.empty()) {
+          buf[rng.below(buf.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.below(8));
+        }
+        break;
+      case 1:  // overwrite a short run with random bytes
+        if (!buf.empty()) {
+          const std::size_t at = rng.below(buf.size());
+          const std::size_t len = 1 + rng.below(8);
+          for (std::size_t i = at; i < buf.size() && i < at + len; ++i) {
+            buf[i] = static_cast<std::uint8_t>(rng.next());
+          }
+        }
+        break;
+      case 2:  // truncate
+        if (!buf.empty()) buf.resize(rng.below(buf.size()));
+        break;
+      case 3: {  // splice: our prefix + another seed's suffix
+        const Bytes& other = seeds[rng.below(seeds.size())];
+        const std::size_t cut = buf.empty() ? 0 : rng.below(buf.size());
+        const std::size_t from = other.empty() ? 0 : rng.below(other.size());
+        buf.resize(cut);
+        buf.insert(buf.end(), other.begin() + static_cast<std::ptrdiff_t>(from),
+                   other.end());
+        break;
+      }
+      case 4: {  // insert a few random bytes
+        const std::size_t at = buf.empty() ? 0 : rng.below(buf.size());
+        const std::size_t len = 1 + rng.below(8);
+        Bytes junk(len);
+        for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+        buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(at), junk.begin(),
+                   junk.end());
+        break;
+      }
+      default:  // length-field attack: overwrite 8 aligned bytes with a
+                // huge little-endian value (hunts unguarded allocations)
+        if (buf.size() >= 8) {
+          const std::size_t at = rng.below(buf.size() - 7);
+          const std::uint64_t huge = rng.next() | (1ull << 62);
+          std::memcpy(buf.data() + at, &huge, 8);
+        }
+        break;
+    }
+  }
+  return buf;
+}
+
+void run_one(const Bytes& buf) {
+  // The harness contains expected SerializeErrors itself; anything that
+  // escapes (other exception types, sanitizer aborts) fails the driver.
+  LLVMFuzzerTestOneInput(buf.data(), buf.size());
+}
+
+int dump_corpus(const std::vector<Bytes>& seeds, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const std::string path = dir + "/seed-" + std::to_string(i) + ".bin";
+    std::ofstream os(path, std::ios::binary);
+    os.write(reinterpret_cast<const char*>(seeds[i].data()),
+             static_cast<std::streamsize>(seeds[i].size()));
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+  }
+  std::printf("wrote %zu corpus files to %s\n", seeds.size(), dir.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t iters = 10000;
+  std::uint64_t seed = 1;
+  std::string dump_dir;
+  std::vector<std::string> corpus_dirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--iters" && i + 1 < argc) {
+      iters = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--dump-corpus" && i + 1 < argc) {
+      dump_dir = argv[++i];
+    } else {
+      corpus_dirs.push_back(arg);
+    }
+  }
+
+  std::vector<Bytes> seeds = nc::fuzz::corpus();
+  if (!dump_dir.empty()) return dump_corpus(seeds, dump_dir);
+
+  // Committed corpus files (seed corpus + crash regressions) are replayed
+  // unmutated first: a past crasher that resurfaces fails immediately.
+  std::size_t replayed = 0;
+  for (const auto& dir : corpus_dirs) {
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+      if (!entry.is_regular_file()) continue;
+      std::ifstream is(entry.path(), std::ios::binary);
+      Bytes buf((std::istreambuf_iterator<char>(is)),
+                std::istreambuf_iterator<char>());
+      run_one(buf);
+      seeds.push_back(std::move(buf));
+      ++replayed;
+    }
+    if (ec) {
+      std::fprintf(stderr, "cannot read corpus dir %s: %s\n", dir.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+  }
+  if (seeds.empty()) {
+    std::fprintf(stderr, "no corpus seeds\n");
+    return 1;
+  }
+
+  Prng rng(seed);
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const Bytes buf = mutate(seeds, rng);
+    try {
+      run_one(buf);
+    } catch (...) {
+      const std::string path = "crash-" + std::to_string(seed) + "-" +
+                               std::to_string(i) + ".bin";
+      std::ofstream os(path, std::ios::binary);
+      os.write(reinterpret_cast<const char*>(buf.data()),
+               static_cast<std::streamsize>(buf.size()));
+      std::fprintf(stderr,
+                   "iteration %llu (seed %llu) escaped the harness; "
+                   "input dumped to %s\n",
+                   static_cast<unsigned long long>(i),
+                   static_cast<unsigned long long>(seed), path.c_str());
+      throw;
+    }
+  }
+  std::printf("ok: %zu corpus replays + %llu mutated iterations\n", replayed,
+              static_cast<unsigned long long>(iters));
+  return 0;
+}

@@ -1,0 +1,91 @@
+/// \file fuzz_checkpoint.cpp
+/// \brief Fuzz harness for the "CKPT" checkpoint format
+///        (core::load_checkpoint) — see fuzz_common.hpp for the contract.
+///
+/// The harness loads into a fixed small parameter set, so name/shape
+/// matching (the strictest part of the parser) is exercised as well as the
+/// raw field parsing.  Acceptable outcomes: clean load or SerializeError.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/layer.hpp"
+#include "core/tensor.hpp"
+#include "fuzz_common.hpp"
+#include "util/serialize.hpp"
+
+namespace {
+
+/// Parameter set mirroring a miniature model; the corpus serializes exactly
+/// these, so unmutated corpus entries load cleanly.
+std::vector<nc::core::Param> make_params() {
+  using nc::core::Param;
+  using nc::core::Tensor;
+  std::vector<Param> params;
+  params.emplace_back("enc.conv0.w", Tensor::full({4, 1, 3, 3}, 0.5f));
+  params.emplace_back("enc.conv0.b", Tensor::full({4}, -1.0f));
+  params.emplace_back("dec.deconv0.w", Tensor::full({1, 4, 3, 3}, 0.25f));
+  params.emplace_back("dec.norm.gamma", Tensor::full({4}, 1.0f));
+  return params;
+}
+
+std::vector<nc::core::Param*> param_ptrs(std::vector<nc::core::Param>& ps) {
+  std::vector<nc::core::Param*> ptrs;
+  ptrs.reserve(ps.size());
+  for (auto& p : ps) ptrs.push_back(&p);
+  return ptrs;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Rebuilt per input: a partially-applied corrupt load must not leak state
+  // into the next iteration's baseline.
+  std::vector<nc::core::Param> params = make_params();
+  const std::vector<nc::core::Param*> ptrs = param_ptrs(params);
+  std::istringstream is(
+      std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    nc::core::load_checkpoint(is, ptrs);
+  } catch (const nc::util::SerializeError&) {
+    // Expected rejection of corrupt input.
+  }
+  return 0;
+}
+
+namespace nc::fuzz {
+
+std::vector<std::vector<std::uint8_t>> corpus() {
+  std::vector<std::vector<std::uint8_t>> out;
+  auto add = [&out](const std::vector<nc::core::Param*>& ptrs) {
+    std::ostringstream os;
+    nc::core::save_checkpoint(os, ptrs);
+    const std::string s = os.str();
+    out.emplace_back(s.begin(), s.end());
+  };
+
+  // 1. Exactly the harness's parameter set (loads cleanly).
+  std::vector<nc::core::Param> full = make_params();
+  add(param_ptrs(full));
+
+  // 2. A subset (parses cleanly, then fails the missing-parameter check).
+  std::vector<nc::core::Param*> subset = param_ptrs(full);
+  subset.resize(2);
+  add(subset);
+
+  // 3. Empty parameter list (header + zero count).
+  add({});
+
+  // 4. A scalar (rank-0) and a high-rank parameter — boundary shapes.
+  std::vector<nc::core::Param> odd;
+  odd.emplace_back("scalar", nc::core::Tensor::full({}, 3.0f));
+  odd.emplace_back("rank8",
+                   nc::core::Tensor::full({1, 1, 2, 1, 1, 2, 1, 1}, 2.0f));
+  add(param_ptrs(odd));
+
+  return out;
+}
+
+}  // namespace nc::fuzz

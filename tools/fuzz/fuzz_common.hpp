@@ -1,0 +1,35 @@
+/// \file fuzz_common.hpp
+/// \brief Contract between the three wire-format fuzz harnesses and their
+///        two drivers (libFuzzer and the deterministic ctest driver).
+///
+/// Each harness translation unit (fuzz_checkpoint.cpp, fuzz_envelope.cpp,
+/// fuzz_spill.cpp) implements:
+///
+///   * `LLVMFuzzerTestOneInput` — feed one byte buffer to the format's
+///     deserialize entry point.  The only acceptable outcomes are a clean
+///     parse or `util::SerializeError`; any other exception, crash, hang or
+///     unguarded giant allocation is a bug the driver surfaces.
+///   * `nc::fuzz::corpus()` — valid buffers produced by the *real*
+///     serializers.  They seed the structure-aware mutations (byte flips
+///     land in real headers, splices join real records) and are what
+///     `--dump-corpus` writes out as the committed seed corpus.
+///
+/// The same harness TU links either against libFuzzer (`-fsanitize=fuzzer`,
+/// Clang-only, behind NC_BUILD_FUZZERS) or against det_main.cpp — the
+/// fixed-PRNG driver that ctest runs on every CI configuration, sanitized
+/// or not.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace nc::fuzz {
+
+/// Valid wire-format buffers from the real serializers (mutation seeds).
+std::vector<std::vector<std::uint8_t>> corpus();
+
+}  // namespace nc::fuzz

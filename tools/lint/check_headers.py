@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Repo lint: header self-containment + on-disk-format test coverage.
+
+Two cheap, mechanical checks that have each caught real bugs in this tree:
+
+1. **Header self-containment** — every public header under ``src/`` must
+   compile as its own translation unit.  The repo has already shipped two
+   missing-include bugs (``<vector>`` in codec/stream, ``<limits>`` in
+   metrics) that only bit users including a header in a fresh context; this
+   makes the property mechanical.
+
+2. **Format coverage** — every on-disk format kind declared in ``src/``
+   (the ``constexpr char kKind[4]`` next to its ``write_magic`` call) must
+   have a registered version-gate test: a test that bumps the version field
+   of a well-formed buffer and expects ``SerializeError``.  A new format
+   fails this lint until its gate test is added and registered in
+   ``FORMAT_GATES`` below — misparsing "v2 field soup as v1" is the exact
+   class of bug the gates exist to block.
+
+Exit status 0 iff both checks pass.  Run locally with::
+
+    python3 tools/lint/check_headers.py            # from the repo root
+    cmake --build build --target check_headers     # same, via CMake
+"""
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+# Registered version-gate tests: format kind -> (test file, test regex).
+# The regex must match the TEST(...) declaration line in the file.
+FORMAT_GATES = {
+    "CKPT": ("tests/test_corrupt_io.cpp",
+             r"TEST\(CorruptCheckpoint,\s*UnknownVersionRejected\)"),
+    "CWDG": ("tests/test_corrupt_io.cpp",
+             r"TEST\(CorruptWedge,\s*UnknownVersionRejected\)"),
+    "WDGS": ("tests/test_corrupt_io.cpp",
+             r"TEST\(CorruptDataset,\s*UnknownVersionRejected\)"),
+    "WENV": ("tests/test_codec_arena.cpp",
+             r"TEST\(WedgeEnvelope,\s*DeserializeRejectsVersionBump\)"),
+    "SPIL": ("tests/test_spill.cpp",
+             r"TEST\(SpillReader,\s*UnknownVersionRejected\)"),
+}
+
+KIND_RE = re.compile(
+    r"char\s+\w*[Kk]ind\[4\]\s*=\s*\{\s*'(.)'\s*,\s*'(.)'\s*,\s*'(.)'\s*,\s*'(.)'\s*\}")
+
+
+def find_headers(src_dir: str) -> list[str]:
+    headers = []
+    for root, _dirs, files in os.walk(src_dir):
+        for name in sorted(files):
+            if name.endswith((".hpp", ".h")):
+                headers.append(os.path.join(root, name))
+    return headers
+
+
+def check_header(cxx: str, repo: str, header: str) -> tuple[str, str]:
+    """Compile `#include "<header>"` as a standalone TU; '' means clean."""
+    rel = os.path.relpath(header, os.path.join(repo, "src"))
+    with tempfile.NamedTemporaryFile(
+            mode="w", suffix=".cpp", delete=False) as tu:
+        tu.write(f'#include "{rel}"\n')
+        tu_path = tu.name
+    try:
+        proc = subprocess.run(
+            [cxx, "-std=c++20", "-fsyntax-only",
+             "-I", os.path.join(repo, "src"), "-I", repo,
+             "-Wall", "-Wextra", tu_path],
+            capture_output=True, text=True)
+        return rel, "" if proc.returncode == 0 else proc.stderr.strip()
+    finally:
+        os.unlink(tu_path)
+
+
+def check_self_containment(cxx: str, repo: str) -> int:
+    headers = find_headers(os.path.join(repo, "src"))
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor() as pool:
+        for rel, err in pool.map(
+                lambda h: check_header(cxx, repo, h), headers):
+            if err:
+                failures += 1
+                print(f"FAIL header not self-contained: src/{rel}\n{err}\n",
+                      file=sys.stderr)
+    print(f"self-containment: {len(headers) - failures}/{len(headers)} "
+          f"headers compile standalone")
+    return failures
+
+
+def find_format_kinds(repo: str) -> dict[str, str]:
+    """Discover every on-disk format kind declared under src/."""
+    kinds: dict[str, str] = {}
+    for root, _dirs, files in os.walk(os.path.join(repo, "src")):
+        for name in sorted(files):
+            if not name.endswith((".cpp", ".hpp", ".h")):
+                continue
+            path = os.path.join(root, name)
+            with open(path, encoding="utf-8") as f:
+                for match in KIND_RE.finditer(f.read()):
+                    kinds["".join(match.groups())] = os.path.relpath(
+                        path, repo)
+    return kinds
+
+
+def check_format_gates(repo: str) -> int:
+    failures = 0
+    kinds = find_format_kinds(repo)
+    if not kinds:
+        print("FAIL: no format kinds discovered under src/ — the lint's "
+              "kind regex no longer matches the tree", file=sys.stderr)
+        return 1
+    for kind, declared_in in sorted(kinds.items()):
+        gate = FORMAT_GATES.get(kind)
+        if gate is None:
+            failures += 1
+            print(f"FAIL format '{kind}' ({declared_in}) has no registered "
+                  f"version-gate test: add a bump-the-version test and "
+                  f"register it in FORMAT_GATES "
+                  f"(tools/lint/check_headers.py)", file=sys.stderr)
+            continue
+        test_file, test_re = gate
+        path = os.path.join(repo, test_file)
+        try:
+            with open(path, encoding="utf-8") as f:
+                content = f.read()
+        except OSError:
+            failures += 1
+            print(f"FAIL format '{kind}': registered test file {test_file} "
+                  f"does not exist", file=sys.stderr)
+            continue
+        if not re.search(test_re, content):
+            failures += 1
+            print(f"FAIL format '{kind}': {test_file} no longer contains a "
+                  f"test matching {test_re}", file=sys.stderr)
+    stale = sorted(set(FORMAT_GATES) - set(kinds))
+    if stale:
+        failures += len(stale)
+        print(f"FAIL stale FORMAT_GATES entries (format no longer in src/): "
+              f"{', '.join(stale)}", file=sys.stderr)
+    print(f"format gates: {len(kinds)} formats discovered "
+          f"({', '.join(sorted(kinds))}), {failures} uncovered")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo", default=os.getcwd(),
+                        help="repository root (default: cwd)")
+    parser.add_argument("--cxx", default=os.environ.get("CXX", "g++"),
+                        help="C++ compiler for the syntax-only checks")
+    args = parser.parse_args()
+    repo = os.path.abspath(args.repo)
+    failures = check_self_containment(args.cxx, repo)
+    failures += check_format_gates(repo)
+    if failures:
+        print(f"check_headers: {failures} failure(s)", file=sys.stderr)
+        return 1
+    print("check_headers: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
