@@ -1,24 +1,34 @@
-/// Google-benchmark microbenchmarks for the compute kernels underlying every
-/// table and figure: GEMM (fp32 + fp16-storage), im2col/vol2col lowering,
-/// and the four convolution layers at BCAE-representative shapes.
+/// Self-contained microbenchmarks for the compute kernels underlying every
+/// table and figure: fp32/fp16 GEMM, the runtime-dispatched int8 GEMM at
+/// every ISA tier the host supports, and the quantization passes feeding it.
 ///
 /// These isolate the substrate so regressions in the headline throughput
-/// numbers (Table 1, Fig. 6) can be attributed: if hgemm's advantage over
-/// sgemm disappears here, the half-precision speedup story collapses there.
-#include <benchmark/benchmark.h>
-
+/// numbers (Table 1, Fig. 6) can be attributed: if the int8 fast path's
+/// advantage over scalar disappears here, the kEvalInt8 speedup story
+/// collapses there.  Per-tier columns report speedup vs the scalar reference
+/// so the dispatch win is a number, not a claim.
+///
+/// Output ends with a one-line JSON trailer (grep '^{') consumed by CI as
+/// BENCH_kernels.json.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
-#include "core/conv.hpp"
 #include "core/gemm.hpp"
-#include "core/im2col.hpp"
+#include "core/quantize.hpp"
+#include "core/simd_dispatch.hpp"
 #include "core/tensor.hpp"
 #include "util/half.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
 using nc::core::Tensor;
+using nc::core::simd::Isa;
 
 Tensor random_tensor(nc::core::Shape shape, std::uint64_t seed) {
   nc::util::Rng rng(seed);
@@ -29,118 +39,170 @@ Tensor random_tensor(nc::core::Shape shape, std::uint64_t seed) {
   return t;
 }
 
-/// Conv-forward shaped GEMM: M = out channels, N = output pixels, K = lowered
-/// patch size (BCAE-2D residual-block conv at bench scale).
-void BM_SgemmConvShape(benchmark::State& state) {
-  const std::int64_t m = state.range(0), n = state.range(1), k = state.range(2);
-  const Tensor a = random_tensor({m, k}, 1);
-  const Tensor b = random_tensor({k, n}, 2);
-  Tensor c({m, n});
-  for (auto _ : state) {
-    nc::core::sgemm(false, false, m, n, k, 1.f, a.data(), k, b.data(), n, 0.f,
-                    c.data(), n);
-    benchmark::DoNotOptimize(c.data());
+/// Best-of-3 throughput: run `fn` in timed batches of >= `min_s` seconds and
+/// return work/second of the fastest batch (work = flops or bytes per call).
+template <typename Fn>
+double best_rate(double work_per_call, Fn&& fn, double min_s = 0.12) {
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    std::int64_t iters = 0;
+    nc::util::Timer t;
+    do {
+      fn();
+      ++iters;
+    } while (t.elapsed_s() < min_s);
+    const double rate =
+        work_per_call * static_cast<double>(iters) / t.elapsed_s();
+    best = std::max(best, rate);
   }
-  state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
+  return best;
 }
-BENCHMARK(BM_SgemmConvShape)
-    ->Args({32, 3072, 784})   // BCAE-2D L_in (k=7)
-    ->Args({32, 768, 288})    // BCAE-2D resblock conv
-    ->Args({8, 12288, 48})    // BCAE++ stage-1 downsample
-    ->Args({2, 12288, 48});   // BCAE-HT stage-1 downsample (tiny M)
 
-void BM_HgemmConvShape(benchmark::State& state) {
-  const std::int64_t m = state.range(0), n = state.range(1), k = state.range(2);
-  const Tensor a = random_tensor({m, k}, 1);
-  const Tensor b = random_tensor({k, n}, 2);
-  std::vector<nc::util::half> ah(static_cast<std::size_t>(m * k));
-  std::vector<nc::util::half> bh(static_cast<std::size_t>(k * n));
-  nc::util::float_to_half_n(a.data(), ah.data(), m * k);
-  nc::util::float_to_half_n(b.data(), bh.data(), k * n);
-  Tensor c({m, n});
-  for (auto _ : state) {
-    nc::core::hgemm(m, n, k, ah.data(), k, bh.data(), n, c.data(), n);
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
-}
-BENCHMARK(BM_HgemmConvShape)
-    ->Args({32, 3072, 784})
-    ->Args({32, 768, 288})
-    ->Args({8, 12288, 48})
-    ->Args({2, 12288, 48});
+/// Conv-forward shaped GEMMs: M = out channels, N = output pixels, K =
+/// lowered patch size, at BCAE-representative shapes.
+struct GemmShape {
+  std::int64_t m, n, k;
+  const char* what;
+};
 
-void BM_Im2col2d(benchmark::State& state) {
-  nc::core::Conv2dGeom g;
-  g.c = 32;
-  g.h = 48;
-  g.w = 64;
-  g.kh = g.kw = 3;
-  g.ph = g.pw = 1;
-  const Tensor x = random_tensor({g.c * g.h * g.w}, 3);
-  std::vector<float> cols(static_cast<std::size_t>(g.rows() * g.cols()));
-  for (auto _ : state) {
-    nc::core::im2col_2d(x.data(), g, cols.data());
-    benchmark::DoNotOptimize(cols.data());
-  }
-  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(
-                                                   cols.size() * sizeof(float)));
-}
-BENCHMARK(BM_Im2col2d);
+constexpr GemmShape kShapes[] = {
+    {32, 3072, 784, "BCAE-2D L_in (k=7)"},
+    {32, 768, 288, "BCAE-2D resblock conv"},
+    {8, 12288, 48, "BCAE++ stage-1 downsample"},
+    {2, 12288, 48, "BCAE-HT stage-1 downsample"},
+};
 
-void BM_Vol2col3dHalf(benchmark::State& state) {
-  nc::core::Conv3dGeom g;
-  g.c = 8;
-  g.d = 16;
-  g.h = 24;
-  g.w = 32;
-  g.kd = 3;
-  g.kh = g.kw = 4;
-  g.sd = 1;
-  g.sh = g.sw = 2;
-  g.pd = g.ph = g.pw = 1;
-  const Tensor x = random_tensor({g.c * g.d * g.h * g.w}, 4);
-  std::vector<nc::util::half> xh(static_cast<std::size_t>(x.numel()));
-  nc::util::float_to_half_n(x.data(), xh.data(), x.numel());
-  std::vector<nc::util::half> cols(static_cast<std::size_t>(g.rows() * g.cols()));
-  for (auto _ : state) {
-    nc::core::vol2col_3d(xh.data(), g, cols.data());
-    benchmark::DoNotOptimize(cols.data());
+std::vector<Isa> supported_isas() {
+  std::vector<Isa> out;
+  for (Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512}) {
+    if (nc::core::simd::isa_supported(isa)) out.push_back(isa);
   }
-  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(
-                                                   cols.size() * sizeof(nc::util::half)));
+  return out;
 }
-BENCHMARK(BM_Vol2col3dHalf);
-
-void BM_Conv2dForward(benchmark::State& state) {
-  const bool half = state.range(0) != 0;
-  nc::util::Rng rng(5);
-  nc::core::Conv2d conv(16, 32, {7, 7}, {1, 1}, {3, 3}, true, rng);
-  const Tensor x = random_tensor({4, 16, 48, 64}, 6);
-  const auto mode = half ? nc::core::Mode::kEvalHalf : nc::core::Mode::kEval;
-  for (auto _ : state) {
-    auto y = conv.forward(x, mode);
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 4);  // wedges
-}
-BENCHMARK(BM_Conv2dForward)->Arg(0)->Arg(1);
-
-void BM_ConvTranspose3dForward(benchmark::State& state) {
-  const bool half = state.range(0) != 0;
-  nc::util::Rng rng(7);
-  nc::core::ConvTranspose3d deconv(32, 32, {3, 4, 4}, {1, 2, 2}, {1, 1, 1},
-                                   true, rng);
-  const Tensor x = random_tensor({2, 32, 16, 6, 8}, 8);
-  const auto mode = half ? nc::core::Mode::kEvalHalf : nc::core::Mode::kEval;
-  for (auto _ : state) {
-    auto y = deconv.forward(x, mode);
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2);
-}
-BENCHMARK(BM_ConvTranspose3dForward)->Arg(0)->Arg(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  const Isa active = nc::core::simd::active_isa();
+  const char* env = std::getenv("NC_SIMD");
+  std::printf("bench_kernels: simd dispatch resolved to %s (NC_SIMD=%s)\n",
+              nc::core::simd::isa_name(active), env ? env : "auto");
+  const std::vector<Isa> isas = supported_isas();
+
+  // ---- GEMM family ---------------------------------------------------------
+  std::printf("\nGEMM throughput [GFLOP/s] (int8 columns = dispatched qgemm "
+              "per tier, speedup vs its scalar reference):\n");
+  std::printf("  %-28s %8s %8s", "shape (m,n,k)", "sgemm", "hgemm");
+  for (Isa isa : isas) {
+    std::printf(" %10s", nc::core::simd::isa_name(isa));
+  }
+  std::printf(" %8s\n", "best/sc");
+
+  // JSON accumulators: per-kernel GFLOP/s averaged over the shape set.
+  double sum_sgemm = 0.0, sum_hgemm = 0.0;
+  std::vector<double> sum_q(isas.size(), 0.0);
+
+  for (const GemmShape& s : kShapes) {
+    const double flops = 2.0 * static_cast<double>(s.m) *
+                         static_cast<double>(s.n) * static_cast<double>(s.k);
+    const Tensor a = random_tensor({s.m, s.k}, 1);
+    const Tensor b = random_tensor({s.k, s.n}, 2);
+    Tensor c({s.m, s.n});
+
+    const double sgemm_g =
+        best_rate(flops, [&] {
+          nc::core::sgemm(false, false, s.m, s.n, s.k, 1.f, a.data(), s.k,
+                          b.data(), s.n, 0.f, c.data(), s.n);
+        }) / 1e9;
+
+    std::vector<nc::util::half> ah(static_cast<std::size_t>(s.m * s.k));
+    std::vector<nc::util::half> bh(static_cast<std::size_t>(s.k * s.n));
+    nc::util::float_to_half_n(a.data(), ah.data(), s.m * s.k);
+    nc::util::float_to_half_n(b.data(), bh.data(), s.k * s.n);
+    const double hgemm_g =
+        best_rate(flops, [&] {
+          nc::core::hgemm(s.m, s.n, s.k, ah.data(), s.k, bh.data(), s.n,
+                          c.data(), s.n);
+        }) / 1e9;
+
+    const auto qa = nc::core::quantize_rows(a.data(), s.m, s.k);
+    std::vector<std::int8_t> qb(static_cast<std::size_t>(s.k * s.n));
+    const float b_scale =
+        nc::core::quantize_tensor(b.data(), s.k * s.n, qb.data());
+
+    std::printf("  %3lld x %5lld x %4lld %-9s %8.2f %8.2f",
+                static_cast<long long>(s.m), static_cast<long long>(s.n),
+                static_cast<long long>(s.k), "", sgemm_g, hgemm_g);
+    double scalar_g = 0.0, best_g = 0.0;
+    for (std::size_t t = 0; t < isas.size(); ++t) {
+      const auto& ker = nc::core::simd::kernels_for(isas[t]);
+      const double g = best_rate(flops, [&] {
+        ker.qgemm(s.m, s.n, s.k, qa.values.data(), qa.scales.data(), qb.data(),
+                  b_scale, c.data(), s.n);
+      }) / 1e9;
+      if (isas[t] == Isa::kScalar) scalar_g = g;
+      best_g = std::max(best_g, g);
+      sum_q[t] += g;
+      std::printf(" %10.2f", g);
+    }
+    std::printf(" %7.2fx  # %s\n", scalar_g > 0.0 ? best_g / scalar_g : 0.0,
+                s.what);
+    sum_sgemm += sgemm_g;
+    sum_hgemm += hgemm_g;
+  }
+
+  // ---- quantization passes -------------------------------------------------
+  const std::int64_t qn = 1 << 20;
+  const Tensor x = random_tensor({qn}, 3);
+  std::vector<std::int8_t> q8(static_cast<std::size_t>(qn));
+  std::printf("\nquantize passes on %lld floats [Gelem/s]:\n",
+              static_cast<long long>(qn));
+  std::printf("  %-16s", "pass");
+  for (Isa isa : isas) std::printf(" %10s", nc::core::simd::isa_name(isa));
+  std::printf("\n");
+  std::vector<double> maxabs_r(isas.size()), quant_r(isas.size());
+  for (std::size_t t = 0; t < isas.size(); ++t) {
+    const auto& ker = nc::core::simd::kernels_for(isas[t]);
+    volatile float sink = 0.f;
+    maxabs_r[t] = best_rate(static_cast<double>(qn), [&] {
+      sink = ker.max_abs(x.data(), qn);
+    }) / 1e9;
+    (void)sink;
+    quant_r[t] = best_rate(static_cast<double>(qn), [&] {
+      ker.quantize_scaled(x.data(), qn, 127.f, q8.data());
+    }) / 1e9;
+  }
+  std::printf("  %-16s", "max_abs");
+  for (double r : maxabs_r) std::printf(" %10.2f", r);
+  std::printf("\n  %-16s", "quantize_scaled");
+  for (double r : quant_r) std::printf(" %10.2f", r);
+  std::printf("\n");
+
+  // ---- JSON trailer --------------------------------------------------------
+  const double n_shapes = static_cast<double>(std::size(kShapes));
+  std::string qjson, spdjson;
+  double scalar_avg = 0.0;
+  for (std::size_t t = 0; t < isas.size(); ++t) {
+    if (isas[t] == Isa::kScalar) scalar_avg = sum_q[t] / n_shapes;
+  }
+  char buf[128];
+  for (std::size_t t = 0; t < isas.size(); ++t) {
+    const double avg = sum_q[t] / n_shapes;
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%.3f", t ? "," : "",
+                  nc::core::simd::isa_name(isas[t]), avg);
+    qjson += buf;
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%.3f", t ? "," : "",
+                  nc::core::simd::isa_name(isas[t]),
+                  scalar_avg > 0.0 ? avg / scalar_avg : 0.0);
+    spdjson += buf;
+  }
+  std::printf(
+      "\n{\"bench\":\"kernels\",\"isa\":\"%s\",\"sgemm_gflops\":%.3f,"
+      "\"hgemm_gflops\":%.3f,\"qgemm_gflops\":{%s},"
+      "\"qgemm_speedup_vs_scalar\":{%s},\"maxabs_gelems\":%.3f,"
+      "\"quantize_gelems\":%.3f}\n",
+      nc::core::simd::isa_name(active), sum_sgemm / n_shapes,
+      sum_hgemm / n_shapes, qjson.c_str(), spdjson.c_str(), maxabs_r.back(),
+      quant_r.back());
+  return 0;
+}

@@ -37,6 +37,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <sstream>
@@ -46,6 +47,7 @@
 
 #include "codec/stream.hpp"
 #include "codec/wedge_codec.hpp"
+#include "core/simd_dispatch.hpp"
 #include "metrics/metrics.hpp"
 #include "tpc/dataset.hpp"
 #include "util/cli.hpp"
@@ -198,6 +200,13 @@ int main(int argc, char** argv) {
   }
   std::printf("staged %zu wedges of %s\n", wedges.size(),
               dataset.wedge_shape().to_string().c_str());
+  // The SIMD tier the encode hot loops (int8/fp16 GEMM, quantization)
+  // resolved to — worth a line in a throughput demo, since scalar-vs-vector
+  // is a bigger lever here than any pipeline knob.
+  const char* simd_env = std::getenv("NC_SIMD");
+  std::printf("simd dispatch: %s kernels (NC_SIMD=%s)\n",
+              core::simd::isa_name(core::simd::active_isa()),
+              simd_env ? simd_env : "auto");
 
   // A pre-trained model would be loaded from a checkpoint here; for the
   // example an untrained BCAE-2D is fine (throughput is weight-independent,

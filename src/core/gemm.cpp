@@ -3,15 +3,10 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/simd_dispatch.hpp"
+
 #ifdef _OPENMP
 #include <omp.h>
-#endif
-
-#if defined(__F16C__) && defined(__AVX2__)
-#include <immintrin.h>
-#define NC_GEMM_F16C 1
-#else
-#define NC_GEMM_F16C 0
 #endif
 
 namespace nc::core {
@@ -83,53 +78,6 @@ inline void tile_nt(std::int64_t i0, std::int64_t i1, std::int64_t j0,
   }
 }
 
-/// Half-storage microkernel: C += float(A[i,k]) * float(B[k, j0:j1]).
-/// With F16C the B row is widened 8 lanes at a time (VCVTPH2PS + FMA),
-/// streaming half the bytes of the fp32 kernel — the CPU analogue of the
-/// paper's tensor-core half-precision mode.
-inline void tile_hh(std::int64_t i0, std::int64_t i1, std::int64_t j0,
-                    std::int64_t j1, std::int64_t k, const util::half* a,
-                    std::int64_t lda, const util::half* b, std::int64_t ldb,
-                    float* c, std::int64_t ldc) {
-  for (std::int64_t i = i0; i < i1; ++i) {
-    const util::half* ai = a + i * lda;
-    float* ci = c + i * ldc;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = static_cast<float>(ai[kk]);
-      if (av == 0.f) continue;
-      const util::half* bk = b + kk * ldb;
-#if NC_GEMM_F16C
-      const __m256 av8 = _mm256_set1_ps(av);
-      std::int64_t j = j0;
-      for (; j + 16 <= j1; j += 16) {
-        const __m128i raw0 =
-            _mm_loadu_si128(reinterpret_cast<const __m128i*>(bk + j));
-        const __m128i raw1 =
-            _mm_loadu_si128(reinterpret_cast<const __m128i*>(bk + j + 8));
-        __m256 c0 = _mm256_loadu_ps(ci + j);
-        __m256 c1 = _mm256_loadu_ps(ci + j + 8);
-        c0 = _mm256_fmadd_ps(av8, _mm256_cvtph_ps(raw0), c0);
-        c1 = _mm256_fmadd_ps(av8, _mm256_cvtph_ps(raw1), c1);
-        _mm256_storeu_ps(ci + j, c0);
-        _mm256_storeu_ps(ci + j + 8, c1);
-      }
-      for (; j + 8 <= j1; j += 8) {
-        const __m128i raw =
-            _mm_loadu_si128(reinterpret_cast<const __m128i*>(bk + j));
-        __m256 cc = _mm256_loadu_ps(ci + j);
-        cc = _mm256_fmadd_ps(av8, _mm256_cvtph_ps(raw), cc);
-        _mm256_storeu_ps(ci + j, cc);
-      }
-      for (; j < j1; ++j) ci[j] += av * static_cast<float>(bk[j]);
-#else
-      for (std::int64_t j = j0; j < j1; ++j) {
-        ci[j] += av * static_cast<float>(bk[j]);
-      }
-#endif
-    }
-  }
-}
-
 }  // namespace
 
 void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
@@ -181,6 +129,14 @@ void hgemm(std::int64_t m, std::int64_t n, std::int64_t k,
            std::int64_t ldb, float* c, std::int64_t ldc) {
   apply_beta(m, n, 0.f, c, ldc);
   if (m == 0 || n == 0 || k == 0) return;
+
+  // Half-storage microkernel: C += float(A[i,k]) * float(B[k, j0:j1]),
+  // runtime-dispatched.  On F16C hardware the B row is widened 8 lanes at a
+  // time (VCVTPH2PS + FMA), streaming half the bytes of the fp32 kernel —
+  // the CPU analogue of the paper's tensor-core half-precision mode.  The
+  // old compile-time __F16C__ gate made this dead code in default builds;
+  // the dispatcher selects it per-process instead.
+  const auto tile_hh = simd::kernels().tile_hh;
 
   const std::int64_t n_row_blocks = (m + kMB - 1) / kMB;
   const std::int64_t n_col_blocks = (n + kNB - 1) / kNB;

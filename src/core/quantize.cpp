@@ -3,13 +3,18 @@
 #include <algorithm>
 #include <cmath>
 
-#ifdef _OPENMP
-#include <omp.h>
-#endif
+#include "core/simd_dispatch.hpp"
 
 namespace nc::core {
 
+// The two quantization passes (max-abs scan, scaled round+clamp) and the
+// int8 GEMM itself run through the runtime SIMD dispatcher; the scalar
+// reference implementations live in core/simd_dispatch.cpp.  Rounding is
+// round-to-nearest-even on every tier (VCVTPS2DQ semantics — the scalar
+// fallback uses std::nearbyintf to match bit-for-bit).
+
 QuantizedRows quantize_rows(const float* w, std::int64_t rows, std::int64_t cols) {
+  const simd::Kernels& ker = simd::kernels();
   QuantizedRows q;
   q.rows = rows;
   q.cols = cols;
@@ -17,70 +22,26 @@ QuantizedRows quantize_rows(const float* w, std::int64_t rows, std::int64_t cols
   q.scales.resize(static_cast<std::size_t>(rows));
   for (std::int64_t r = 0; r < rows; ++r) {
     const float* row = w + r * cols;
-    float max_abs = 0.f;
-    for (std::int64_t k = 0; k < cols; ++k) {
-      max_abs = std::max(max_abs, std::abs(row[k]));
-    }
+    const float max_abs = ker.max_abs(row, cols);
     const float scale = max_abs > 0.f ? max_abs / 127.f : 1.f;
     q.scales[static_cast<std::size_t>(r)] = scale;
-    std::int8_t* out = q.values.data() + r * cols;
-    const float inv = 1.f / scale;
-    for (std::int64_t k = 0; k < cols; ++k) {
-      const float v = std::round(row[k] * inv);
-      out[k] = static_cast<std::int8_t>(std::clamp(v, -127.f, 127.f));
-    }
+    ker.quantize_scaled(row, cols, 1.f / scale, q.values.data() + r * cols);
   }
   return q;
 }
 
 float quantize_tensor(const float* x, std::int64_t n, std::int8_t* out) {
-  float max_abs = 0.f;
-  for (std::int64_t i = 0; i < n; ++i) max_abs = std::max(max_abs, std::abs(x[i]));
+  const simd::Kernels& ker = simd::kernels();
+  const float max_abs = ker.max_abs(x, n);
   const float scale = max_abs > 0.f ? max_abs / 127.f : 1.f;
-  const float inv = 1.f / scale;
-  for (std::int64_t i = 0; i < n; ++i) {
-    out[i] = static_cast<std::int8_t>(
-        std::clamp(std::round(x[i] * inv), -127.f, 127.f));
-  }
+  ker.quantize_scaled(x, n, 1.f / scale, out);
   return scale;
 }
 
 void qgemm(std::int64_t m, std::int64_t n, std::int64_t k,
            const std::int8_t* a, const float* a_scales, const std::int8_t* b,
            float b_scale, float* c, std::int64_t ldc) {
-  // i-k-j with an int32 accumulator panel per row; the widening int8
-  // multiply vectorizes under -O3.  A per-row int32 scratch keeps the
-  // accumulation exact (int8*int8 sums stay well inside int32 for the
-  // K values used by BCAE encoders).
-  constexpr std::int64_t kNB = 256;
-#ifdef _OPENMP
-#pragma omp parallel for schedule(static) if (m > 1 && !omp_in_parallel())
-#endif
-  for (std::int64_t i = 0; i < m; ++i) {
-    const std::int8_t* ai = a + i * k;
-    float* ci = c + i * ldc;
-    std::int32_t acc[kNB];
-    for (std::int64_t j0 = 0; j0 < n; j0 += kNB) {
-      const std::int64_t j1 = std::min(n, j0 + kNB);
-      const std::int64_t width = j1 - j0;
-      std::fill(acc, acc + width, 0);
-      for (std::int64_t kk = 0; kk < k; ++kk) {
-        const std::int32_t av = ai[kk];
-        if (av == 0) continue;
-        const std::int8_t* bk = b + kk * n + j0;
-#ifdef _OPENMP
-#pragma omp simd
-#endif
-        for (std::int64_t j = 0; j < width; ++j) {
-          acc[j] += av * static_cast<std::int32_t>(bk[j]);
-        }
-      }
-      const float scale = a_scales[i] * b_scale;
-      for (std::int64_t j = 0; j < width; ++j) {
-        ci[j0 + j] = static_cast<float>(acc[j]) * scale;
-      }
-    }
-  }
+  simd::kernels().qgemm(m, n, k, a, a_scales, b, b_scale, c, ldc);
 }
 
 std::int64_t prune_by_magnitude(const std::vector<Param*>& params,

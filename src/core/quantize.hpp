@@ -31,14 +31,23 @@ struct QuantizedRows {
 };
 
 /// Symmetric per-row quantization of a (rows x cols) weight matrix.
+/// Values are clamped to [-127, 127] (never -128 — the int8 GEMM's AVX2
+/// sign-transfer kernel relies on that headroom) and rounded to nearest-even.
 QuantizedRows quantize_rows(const float* w, std::int64_t rows, std::int64_t cols);
 
 /// Symmetric per-tensor quantization of activations (dynamic): returns the
-/// dequantization scale; `out` receives round(x / scale) clamped to ±127.
+/// dequantization scale; `out` receives round-to-nearest-even(x / scale)
+/// clamped to ±127.  Both passes (max-abs scan + quantize) run through the
+/// runtime SIMD dispatcher (core/simd_dispatch.hpp) and are bit-identical
+/// across ISA tiers.
 float quantize_tensor(const float* x, std::int64_t n, std::int8_t* out);
 
 /// C (M x N) = diag(a_scales) * (A8 * B8) * b_scale, int32 accumulation.
-/// A8 is the quantized weight (lda = k), B8 the quantized activation panel.
+/// A8 is the quantized weight (lda = k) with entries in [-127, 127], B8 the
+/// quantized activation panel (full int8 range).  Runtime-dispatched to the
+/// best SIMD tier (AVX2 vpmaddubsw / AVX-512 vpdpbusd) with the portable
+/// scalar loop as fallback; all tiers produce bit-identical results
+/// (tests/test_simd_kernels.cpp).
 void qgemm(std::int64_t m, std::int64_t n, std::int64_t k,
            const std::int8_t* a, const float* a_scales, const std::int8_t* b,
            float b_scale, float* c, std::int64_t ldc);

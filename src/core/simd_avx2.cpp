@@ -1,0 +1,346 @@
+/// \file simd_avx2.cpp
+/// \brief AVX2 + FMA + F16C kernel tier, compiled with per-file target flags
+///        (-mavx2 -mfma -mf16c) and selected at runtime by simd_dispatch.
+///
+/// int8 GEMM exactness: AVX2's u8*s8 instruction pair (`vpmaddubsw` +
+/// `vpmaddwd`) saturates its intermediate i16 pair-sum, so the textbook
+/// "bias the activation by +128" trick is NOT exact here (two biased
+/// products can reach 2*255*127 = 64770 > 32767).  We use the
+/// *sign-transfer* form instead: per byte,
+///
+///     u = |b|                (unsigned operand, <= 128)
+///     s = a * sgn(b)         (vpsignb: negate a where b < 0, zero where b = 0)
+///     u * s = a * b          (exactly)
+///
+/// so every pair-sum is bounded by 2*128*127 = 32512 < 32767 — no
+/// saturation for any activation byte (including -128) as long as the
+/// weights stay in [-127, 127], which `quantize_rows` guarantees.  The
+/// result is bit-identical to the scalar int32 reference; the AVX-512 tier
+/// uses the +128-bias form instead (see simd_avx512.cpp) because `vpdpbusd`
+/// accumulates straight into i32 without the saturating midpoint.
+#include "core/simd_dispatch.hpp"
+
+#if defined(NC_SIMD_BUILD_AVX2) && defined(__AVX2__) && defined(__FMA__) && \
+    defined(__F16C__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "core/simd_qpack.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace nc::core::simd {
+namespace {
+
+using detail::kQQuadK;
+using detail::kQTileJ;
+
+/// Fill C's valid region with 0.f * scale per row (the k = 0 degenerate
+/// case, kept expression-identical to the scalar kernel).
+void fill_k0(std::int64_t m, std::int64_t n, const float* a_scales,
+             float b_scale, float* c, std::int64_t ldc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float v = 0.f * (a_scales[i] * b_scale);
+    std::fill(c + i * ldc, c + i * ldc + n, v);
+  }
+}
+
+/// Scalar pack of one (possibly partial) j-tile — mirrors the portable
+/// detail::pack_b_quad16 per-tile loop; used for the edges the vector pack
+/// below cannot cover.
+void pack_tile_scalar(const std::int8_t* b, std::int64_t k, std::int64_t n,
+                      std::int64_t j0, std::int8_t* tile) {
+  const std::int64_t quads = (k + kQQuadK - 1) / kQQuadK;
+  const std::int64_t jw = std::min<std::int64_t>(kQTileJ, n - j0);
+  for (std::int64_t q = 0; q < quads; ++q) {
+    std::int8_t* dst = tile + q * kQQuadK * kQTileJ;
+    for (std::int64_t r = 0; r < kQQuadK; ++r) {
+      const std::int64_t kk = q * kQQuadK + r;
+      if (kk >= k) {
+        for (std::int64_t j = 0; j < kQTileJ; ++j) dst[j * kQQuadK + r] = 0;
+        continue;
+      }
+      const std::int8_t* src = b + kk * n + j0;
+      for (std::int64_t j = 0; j < jw; ++j) dst[j * kQQuadK + r] = src[j];
+      for (std::int64_t j = jw; j < kQTileJ; ++j) dst[j * kQQuadK + r] = 0;
+    }
+  }
+}
+
+/// Vectorized B pack: one SSE 4x16 byte interleave per 64-byte quad-row.
+/// The scalar pack was costing more than the GEMM it feeds at small-m
+/// shapes (m = 2 stage-1 downsample: the O(k*n) pack vs O(2*n*k) MACs), so
+/// it has to run at memory speed.  Bytewise identical to the portable
+/// packer; duplicated in simd_avx512.cpp because intrinsics must stay
+/// inside the per-ISA TUs (tools/lint/check_headers.py enforces this).
+void pack_b_panel(const std::int8_t* b, std::int64_t k, std::int64_t n,
+                  std::int8_t* packed) {
+  const std::int64_t full_quads = k / kQQuadK;
+  const std::int64_t full_tiles = n / kQTileJ;
+  const std::int64_t quads = (k + kQQuadK - 1) / kQQuadK;
+  const std::int64_t tile_bytes = quads * kQQuadK * kQTileJ;
+  for (std::int64_t t = 0; t < full_tiles; ++t) {
+    const std::int8_t* src = b + t * kQTileJ;
+    std::int8_t* dst = packed + t * tile_bytes;
+    for (std::int64_t q = 0; q < full_quads; ++q, src += 4 * n, dst += 64) {
+      const __m128i r0 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src));
+      const __m128i r1 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + n));
+      const __m128i r2 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + 2 * n));
+      const __m128i r3 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + 3 * n));
+      // 4x16 interleave: out byte [j*4 + r] = row_r[j].
+      const __m128i t0 = _mm_unpacklo_epi8(r0, r1);
+      const __m128i t1 = _mm_unpackhi_epi8(r0, r1);
+      const __m128i t2 = _mm_unpacklo_epi8(r2, r3);
+      const __m128i t3 = _mm_unpackhi_epi8(r2, r3);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst),
+                       _mm_unpacklo_epi16(t0, t2));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 16),
+                       _mm_unpackhi_epi16(t0, t2));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 32),
+                       _mm_unpacklo_epi16(t1, t3));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 48),
+                       _mm_unpackhi_epi16(t1, t3));
+    }
+    if (full_quads < quads) {  // partial trailing k-quad: scalar + zero pad
+      for (std::int64_t r = 0; r < kQQuadK; ++r) {
+        const std::int64_t kk = full_quads * kQQuadK + r;
+        if (kk >= k) {
+          for (std::int64_t j = 0; j < kQTileJ; ++j) dst[j * kQQuadK + r] = 0;
+          continue;
+        }
+        const std::int8_t* row = b + kk * n + t * kQTileJ;
+        for (std::int64_t j = 0; j < kQTileJ; ++j) dst[j * kQQuadK + r] = row[j];
+      }
+    }
+  }
+  if (full_tiles * kQTileJ < n) {  // partial trailing j-tile
+    pack_tile_scalar(b, k, n, full_tiles * kQTileJ,
+                     packed + full_tiles * tile_bytes);
+  }
+}
+
+void qgemm_avx2(std::int64_t m, std::int64_t n, std::int64_t k,
+                const std::int8_t* a, const float* a_scales,
+                const std::int8_t* b, float b_scale, float* c,
+                std::int64_t ldc) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    fill_k0(m, n, a_scales, b_scale, c, ldc);
+    return;
+  }
+  const std::int64_t quads = (k + kQQuadK - 1) / kQQuadK;
+  const std::int64_t kp = quads * kQQuadK;
+  const std::int64_t tiles = (n + kQTileJ - 1) / kQTileJ;
+
+  // Packed B panels: built once per call (= once per im2col buffer),
+  // amortized over all m weight rows.
+  auto& packed = detail::qpack_scratch();
+  packed.resize(static_cast<std::size_t>(detail::packed_b_bytes(k, n)));
+  pack_b_panel(b, k, n, packed.data());
+
+  // Pad A rows to a whole number of quads so the inner loop can always read
+  // aligned 4-byte groups.
+  const std::int8_t* a_eff = a;
+  std::int64_t lda = k;
+  if (kp != k) {
+    auto& apad = detail::qpad_a_scratch();
+    apad.assign(static_cast<std::size_t>(m * kp), 0);
+    for (std::int64_t i = 0; i < m; ++i) {
+      std::memcpy(apad.data() + i * kp, a + i * k,
+                  static_cast<std::size_t>(k));
+    }
+    a_eff = apad.data();
+    lda = kp;
+  }
+
+  const std::int8_t* pk = packed.data();
+  const __m256i ones16 = _mm256_set1_epi16(1);
+  // Register-block 4 weight rows per pass so each 64-byte packed quad-row is
+  // loaded (and |b| computed) once for 4 rows of output instead of once per
+  // row.  Each row keeps its own accumulator pair and its own add chain, so
+  // the int32 result is identical to the one-row-at-a-time loop.
+  constexpr std::int64_t kRowBlk = 4;
+  const std::int64_t row_blocks = (m + kRowBlk - 1) / kRowBlk;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) \
+    if (row_blocks > 1 && !omp_in_parallel())
+#endif
+  for (std::int64_t rb = 0; rb < row_blocks; ++rb) {
+    const std::int64_t i0 = rb * kRowBlk;
+    const std::int64_t rows = std::min<std::int64_t>(kRowBlk, m - i0);
+    for (std::int64_t t = 0; t < tiles; ++t) {
+      const std::int8_t* blk = pk + t * quads * kQQuadK * kQTileJ;
+      __m256i acc0[kRowBlk];  // lanes j0 .. j0+7, one per blocked row
+      __m256i acc1[kRowBlk];  // lanes j0+8 .. j0+15
+      for (std::int64_t r = 0; r < rows; ++r) {
+        acc0[r] = _mm256_setzero_si256();
+        acc1[r] = _mm256_setzero_si256();
+      }
+      for (std::int64_t q = 0; q < quads; ++q) {
+        const __m256i b0 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(blk + q * 64));
+        const __m256i b1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(blk + q * 64 + 32));
+        const __m256i ab0 = _mm256_abs_epi8(b0);
+        const __m256i ab1 = _mm256_abs_epi8(b1);
+        for (std::int64_t r = 0; r < rows; ++r) {
+          std::int32_t aq;
+          std::memcpy(&aq, a_eff + (i0 + r) * lda + q * kQQuadK, sizeof(aq));
+          if (aq == 0) continue;  // zero weight quad (pruning) contributes 0
+          const __m256i av = _mm256_set1_epi32(aq);
+          // Sign-transfer: maddubs(|b|, a*sgn(b)) == sum of exact a*b pairs.
+          const __m256i p0 =
+              _mm256_maddubs_epi16(ab0, _mm256_sign_epi8(av, b0));
+          const __m256i p1 =
+              _mm256_maddubs_epi16(ab1, _mm256_sign_epi8(av, b1));
+          acc0[r] = _mm256_add_epi32(acc0[r], _mm256_madd_epi16(p0, ones16));
+          acc1[r] = _mm256_add_epi32(acc1[r], _mm256_madd_epi16(p1, ones16));
+        }
+      }
+      const std::int64_t j0 = t * kQTileJ;
+      for (std::int64_t r = 0; r < rows; ++r) {
+        const float scale = a_scales[i0 + r] * b_scale;
+        float* ci = c + (i0 + r) * ldc;
+        const __m256 vscale = _mm256_set1_ps(scale);
+        const __m256 f0 = _mm256_mul_ps(_mm256_cvtepi32_ps(acc0[r]), vscale);
+        const __m256 f1 = _mm256_mul_ps(_mm256_cvtepi32_ps(acc1[r]), vscale);
+        if (j0 + kQTileJ <= n) {
+          _mm256_storeu_ps(ci + j0, f0);
+          _mm256_storeu_ps(ci + j0 + 8, f1);
+        } else {
+          alignas(32) float tmp[kQTileJ];
+          _mm256_store_ps(tmp, f0);
+          _mm256_store_ps(tmp + 8, f1);
+          std::memcpy(ci + j0, tmp,
+                      static_cast<std::size_t>(n - j0) * sizeof(float));
+        }
+      }
+    }
+  }
+}
+
+float max_abs_avx2(const float* x, std::int64_t n) {
+  const __m256 abs_mask =
+      _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF));
+  __m256 vmax = _mm256_setzero_ps();
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    vmax = _mm256_max_ps(vmax, _mm256_and_ps(_mm256_loadu_ps(x + i), abs_mask));
+  }
+  const __m128 lo = _mm256_castps256_ps128(vmax);
+  const __m128 hi = _mm256_extractf128_ps(vmax, 1);
+  __m128 m = _mm_max_ps(lo, hi);
+  m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+  m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 1));
+  float max_abs = _mm_cvtss_f32(m);
+  for (; i < n; ++i) max_abs = std::max(max_abs, std::abs(x[i]));
+  return max_abs;
+}
+
+void quantize_scaled_avx2(const float* x, std::int64_t n, float inv_scale,
+                          std::int8_t* out) {
+  const __m256 vinv = _mm256_set1_ps(inv_scale);
+  const __m256 vlo = _mm256_set1_ps(-127.f);
+  const __m256 vhi = _mm256_set1_ps(127.f);
+  // Dword permutation fixing the 128-bit-lane interleave of the two packs.
+  const __m256i fix = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+  std::int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i q[4];
+    for (int g = 0; g < 4; ++g) {
+      __m256 v = _mm256_mul_ps(_mm256_loadu_ps(x + i + 8 * g), vinv);
+      v = _mm256_min_ps(vhi, _mm256_max_ps(vlo, v));
+      // VCVTPS2DQ rounds to nearest-even — the semantics the scalar
+      // reference mirrors with std::nearbyintf.
+      q[g] = _mm256_cvtps_epi32(v);
+    }
+    // i32 -> i16 -> i8; values already in [-127, 127] so the saturating
+    // packs narrow losslessly.
+    const __m256i p16a = _mm256_packs_epi32(q[0], q[1]);
+    const __m256i p16b = _mm256_packs_epi32(q[2], q[3]);
+    const __m256i p8 = _mm256_packs_epi16(p16a, p16b);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_permutevar8x32_epi32(p8, fix));
+  }
+  for (; i < n; ++i) {
+    const float v = std::clamp(x[i] * inv_scale, -127.f, 127.f);
+    out[i] = static_cast<std::int8_t>(
+        static_cast<std::int32_t>(std::nearbyintf(v)));
+  }
+}
+
+void tile_hh_avx2(std::int64_t i0, std::int64_t i1, std::int64_t j0,
+                  std::int64_t j1, std::int64_t k, const util::half* a,
+                  std::int64_t lda, const util::half* b, std::int64_t ldb,
+                  float* c, std::int64_t ldc) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const util::half* ai = a + i * lda;
+    float* ci = c + i * ldc;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = static_cast<float>(ai[kk]);
+      if (av == 0.f) continue;
+      const util::half* bk = b + kk * ldb;
+      const __m256 av8 = _mm256_set1_ps(av);
+      std::int64_t j = j0;
+      for (; j + 16 <= j1; j += 16) {
+        const __m128i raw0 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(bk + j));
+        const __m128i raw1 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(bk + j + 8));
+        __m256 c0 = _mm256_loadu_ps(ci + j);
+        __m256 c1 = _mm256_loadu_ps(ci + j + 8);
+        c0 = _mm256_fmadd_ps(av8, _mm256_cvtph_ps(raw0), c0);
+        c1 = _mm256_fmadd_ps(av8, _mm256_cvtph_ps(raw1), c1);
+        _mm256_storeu_ps(ci + j, c0);
+        _mm256_storeu_ps(ci + j + 8, c1);
+      }
+      for (; j + 8 <= j1; j += 8) {
+        const __m128i raw =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(bk + j));
+        __m256 cc = _mm256_loadu_ps(ci + j);
+        cc = _mm256_fmadd_ps(av8, _mm256_cvtph_ps(raw), cc);
+        _mm256_storeu_ps(ci + j, cc);
+      }
+      for (; j < j1; ++j) ci[j] += av * static_cast<float>(bk[j]);
+    }
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+Kernels avx2_kernels() {
+  Kernels t;
+  t.qgemm = &qgemm_avx2;
+  t.max_abs = &max_abs_avx2;
+  t.quantize_scaled = &quantize_scaled_avx2;
+  t.tile_hh = &tile_hh_avx2;
+  return t;
+}
+
+bool avx2_compiled() { return true; }
+
+}  // namespace detail
+}  // namespace nc::core::simd
+
+#else  // TU built without AVX2 target support (non-x86 or old compiler)
+
+namespace nc::core::simd::detail {
+
+Kernels avx2_kernels() { return {}; }
+bool avx2_compiled() { return false; }
+
+}  // namespace nc::core::simd::detail
+
+#endif

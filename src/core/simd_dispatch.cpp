@@ -1,0 +1,282 @@
+#include "core/simd_dispatch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#include "core/simd_qpack.hpp"
+#include "util/logging.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace nc::core::simd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels.  These define the semantics every vector ISA is
+// tested against; they are also the only kernels on non-x86 targets and
+// under NC_SIMD=scalar.
+// ---------------------------------------------------------------------------
+
+void qgemm_scalar(std::int64_t m, std::int64_t n, std::int64_t k,
+                  const std::int8_t* a, const float* a_scales,
+                  const std::int8_t* b, float b_scale, float* c,
+                  std::int64_t ldc) {
+  // i-k-j with an int32 accumulator panel per row; the widening int8
+  // multiply vectorizes under -O3.  A per-row int32 scratch keeps the
+  // accumulation exact (int8*int8 sums stay well inside int32 for the
+  // K values used by BCAE encoders).
+  constexpr std::int64_t kNB = 256;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) if (m > 1 && !omp_in_parallel())
+#endif
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int8_t* ai = a + i * k;
+    float* ci = c + i * ldc;
+    std::int32_t acc[kNB];
+    for (std::int64_t j0 = 0; j0 < n; j0 += kNB) {
+      const std::int64_t j1 = std::min(n, j0 + kNB);
+      const std::int64_t width = j1 - j0;
+      std::fill(acc, acc + width, 0);
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const std::int32_t av = ai[kk];
+        if (av == 0) continue;
+        const std::int8_t* bk = b + kk * n + j0;
+#ifdef _OPENMP
+#pragma omp simd
+#endif
+        for (std::int64_t j = 0; j < width; ++j) {
+          acc[j] += av * static_cast<std::int32_t>(bk[j]);
+        }
+      }
+      const float scale = a_scales[i] * b_scale;
+      for (std::int64_t j = 0; j < width; ++j) {
+        ci[j0 + j] = static_cast<float>(acc[j]) * scale;
+      }
+    }
+  }
+}
+
+float max_abs_scalar(const float* x, std::int64_t n) {
+  float max_abs = 0.f;
+  for (std::int64_t i = 0; i < n; ++i) {
+    max_abs = std::max(max_abs, std::abs(x[i]));
+  }
+  return max_abs;
+}
+
+void quantize_scaled_scalar(const float* x, std::int64_t n, float inv_scale,
+                            std::int8_t* out) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    // Clamp-then-round in round-to-nearest-even, matching VCVTPS2DQ on the
+    // vector paths bit-for-bit (std::nearbyintf honours the current FP
+    // rounding mode, which is round-to-nearest-even by default; nothing in
+    // this library changes it).
+    const float v = std::clamp(x[i] * inv_scale, -127.f, 127.f);
+    out[i] = static_cast<std::int8_t>(
+        static_cast<std::int32_t>(std::nearbyintf(v)));
+  }
+}
+
+void tile_hh_scalar(std::int64_t i0, std::int64_t i1, std::int64_t j0,
+                    std::int64_t j1, std::int64_t k, const util::half* a,
+                    std::int64_t lda, const util::half* b, std::int64_t ldb,
+                    float* c, std::int64_t ldc) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const util::half* ai = a + i * lda;
+    float* ci = c + i * ldc;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = static_cast<float>(ai[kk]);
+      if (av == 0.f) continue;
+      const util::half* bk = b + kk * ldb;
+      for (std::int64_t j = j0; j < j1; ++j) {
+        ci[j] += av * static_cast<float>(bk[j]);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CPUID feature probe.  __builtin_cpu_supports requires string literals and
+// only exists on x86 gcc/clang; other targets run scalar.
+// ---------------------------------------------------------------------------
+
+#if defined(__x86_64__) || defined(__i386__)
+bool cpu_supports_avx2_tier() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma") &&
+         __builtin_cpu_supports("f16c");
+}
+bool cpu_supports_avx512_tier() {
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512vnni");
+}
+#else
+bool cpu_supports_avx2_tier() { return false; }
+bool cpu_supports_avx512_tier() { return false; }
+#endif
+
+/// Overlay non-null entries of `over` onto `base`.
+Kernels merge(Kernels base, const Kernels& over) {
+  if (over.qgemm) base.qgemm = over.qgemm;
+  if (over.max_abs) base.max_abs = over.max_abs;
+  if (over.quantize_scaled) base.quantize_scaled = over.quantize_scaled;
+  if (over.tile_hh) base.tile_hh = over.tile_hh;
+  return base;
+}
+
+}  // namespace
+
+namespace detail {
+
+Kernels scalar_kernels() {
+  Kernels t;
+  t.qgemm = &qgemm_scalar;
+  t.max_abs = &max_abs_scalar;
+  t.quantize_scaled = &quantize_scaled_scalar;
+  t.tile_hh = &tile_hh_scalar;
+  return t;
+}
+
+// -- packed-B panel layout (shared by the AVX2 and AVX-512 kernels) ---------
+
+std::int64_t packed_b_bytes(std::int64_t k, std::int64_t n) {
+  const std::int64_t kp = (k + kQQuadK - 1) / kQQuadK * kQQuadK;
+  const std::int64_t tiles = (n + kQTileJ - 1) / kQTileJ;
+  return tiles * kp * kQTileJ;
+}
+
+void pack_b_quad16(const std::int8_t* b, std::int64_t k, std::int64_t n,
+                   std::int8_t* packed) {
+  const std::int64_t quads = (k + kQQuadK - 1) / kQQuadK;
+  const std::int64_t tiles = (n + kQTileJ - 1) / kQTileJ;
+  for (std::int64_t t = 0; t < tiles; ++t) {
+    const std::int64_t j0 = t * kQTileJ;
+    const std::int64_t jw = std::min<std::int64_t>(kQTileJ, n - j0);
+    std::int8_t* tile = packed + t * quads * kQQuadK * kQTileJ;
+    for (std::int64_t q = 0; q < quads; ++q) {
+      std::int8_t* dst = tile + q * kQQuadK * kQTileJ;
+      for (std::int64_t r = 0; r < kQQuadK; ++r) {
+        const std::int64_t kk = q * kQQuadK + r;
+        if (kk >= k) {
+          for (std::int64_t j = 0; j < kQTileJ; ++j) dst[j * kQQuadK + r] = 0;
+          continue;
+        }
+        const std::int8_t* src = b + kk * n + j0;
+        for (std::int64_t j = 0; j < jw; ++j) dst[j * kQQuadK + r] = src[j];
+        for (std::int64_t j = jw; j < kQTileJ; ++j) dst[j * kQQuadK + r] = 0;
+      }
+    }
+  }
+}
+
+std::vector<std::int8_t>& qpack_scratch() {
+  thread_local std::vector<std::int8_t> buf;
+  return buf;
+}
+
+std::vector<std::int8_t>& qpad_a_scratch() {
+  thread_local std::vector<std::int8_t> buf;
+  return buf;
+}
+
+std::vector<std::int32_t>& qrow_sum_scratch() {
+  thread_local std::vector<std::int32_t> buf;
+  return buf;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Dispatch resolution
+// ---------------------------------------------------------------------------
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx512:
+      return "avx512";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kScalar:
+      return "scalar";
+  }
+  return "scalar";
+}
+
+bool isa_supported(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+      return detail::avx2_compiled() && cpu_supports_avx2_tier();
+    case Isa::kAvx512:
+      // The AVX-512 table inherits its non-qgemm entries from AVX2, so the
+      // tier requires the AVX2 tier too (true on all real AVX-512 parts).
+      return detail::avx512_compiled() && cpu_supports_avx512_tier() &&
+             detail::avx2_compiled() && cpu_supports_avx2_tier();
+  }
+  return false;
+}
+
+Isa best_isa() {
+  if (isa_supported(Isa::kAvx512)) return Isa::kAvx512;
+  if (isa_supported(Isa::kAvx2)) return Isa::kAvx2;
+  return Isa::kScalar;
+}
+
+Isa resolve_isa(const char* request) {
+  const Isa best = best_isa();
+  if (request == nullptr) return best;
+  const std::string_view req(request);
+  if (req.empty() || req == "auto") return best;
+  Isa want;
+  if (req == "scalar") {
+    want = Isa::kScalar;
+  } else if (req == "avx2") {
+    want = Isa::kAvx2;
+  } else if (req == "avx512") {
+    want = Isa::kAvx512;
+  } else {
+    NC_LOG_WARN << "NC_SIMD=" << req
+                << " not recognized (scalar|avx2|avx512|auto); using "
+                << isa_name(best);
+    return best;
+  }
+  if (isa_supported(want)) return want;
+  const Isa got = std::min(best, want);
+  NC_LOG_WARN << "NC_SIMD=" << req
+              << " not supported on this host/build; using " << isa_name(got);
+  return got;
+}
+
+Isa active_isa() {
+  static const Isa isa = resolve_isa(std::getenv("NC_SIMD"));
+  return isa;
+}
+
+const Kernels& kernels_for(Isa isa) {
+  // Magic statics: each merged table is built once, thread-safely.
+  static const Kernels scalar = detail::scalar_kernels();
+  static const Kernels avx2 = merge(scalar, detail::avx2_kernels());
+  static const Kernels avx512 = merge(avx2, detail::avx512_kernels());
+  switch (isa) {
+    case Isa::kAvx512:
+      if (isa_supported(Isa::kAvx512)) return avx512;
+      [[fallthrough]];
+    case Isa::kAvx2:
+      if (isa_supported(Isa::kAvx2)) return avx2;
+      [[fallthrough]];
+    case Isa::kScalar:
+      break;
+  }
+  return scalar;
+}
+
+const Kernels& kernels() { return kernels_for(active_isa()); }
+
+}  // namespace nc::core::simd

@@ -1,0 +1,50 @@
+/// \file simd_qpack.hpp
+/// \brief Shared packed-B panel layout for the int8 GEMM kernels.
+///
+/// Both vector ISAs consume the same panel format, built once per `qgemm`
+/// call (i.e. once per im2col buffer) and amortized over all M weight rows:
+///
+///   * columns are grouped into j-tiles of kQTileJ = 16 lanes;
+///   * within a tile, k advances in quads of kQQuadK = 4, stored
+///     interleaved: byte [(j - j0) * 4 + r] of quad-row q holds
+///     B[4q + r, j];
+///   * both dimensions are zero-padded up to the tile/quad boundary.
+///
+/// One 64-byte quad-row is exactly one AVX-512 register (16 lanes x 4
+/// bytes — the native operand shape of `vpdpbusd`), and exactly two AVX2
+/// registers of 8 lanes each (the operand shape of the `vpmaddubsw` +
+/// `vpmaddwd` pair).  The layout turns the inner loop of both kernels into
+/// contiguous 32/64-byte loads with no shuffles.
+///
+/// Intrinsics-free on purpose.  `pack_b_quad16` below is the portable
+/// reference packer (and the bytewise ground truth for the vectorized
+/// `pack_b_panel` copies inside the per-ISA TUs — at small m the pack is a
+/// significant fraction of the GEMM, so the hot kernels use an SSE 4x16
+/// byte interleave instead).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nc::core::simd::detail {
+
+inline constexpr std::int64_t kQTileJ = 16;  ///< columns per packed j-tile
+inline constexpr std::int64_t kQQuadK = 4;   ///< k values per interleaved quad
+
+/// Bytes required to pack a (k x n) row-major int8 matrix.
+std::int64_t packed_b_bytes(std::int64_t k, std::int64_t n);
+
+/// Pack row-major B (k x n, leading dimension n) into the quad-k/16-j panel
+/// layout described above.  `packed` must hold `packed_b_bytes(k, n)` bytes;
+/// padding lanes are zero-filled.
+void pack_b_quad16(const std::int8_t* b, std::int64_t k, std::int64_t n,
+                   std::int8_t* packed);
+
+/// Thread-local scratch buffers (capacity retained across calls so
+/// steady-state inference performs no allocation; thread_local keeps the
+/// buffers private to each OpenMP/pipeline worker).
+std::vector<std::int8_t>& qpack_scratch();    ///< packed B panels
+std::vector<std::int8_t>& qpad_a_scratch();   ///< A rows padded to a quad multiple
+std::vector<std::int32_t>& qrow_sum_scratch();///< per-row weight sums (VNNI bias fix)
+
+}  // namespace nc::core::simd::detail

@@ -1,42 +1,47 @@
 #include "util/half.hpp"
 
-#if defined(__F16C__) && defined(__AVX2__)
-#include <immintrin.h>
-#define NC_HALF_F16C 1
-#else
-#define NC_HALF_F16C 0
-#endif
+#include <cstdlib>
+#include <cstring>
 
 namespace nc::util {
 
-void float_to_half_n(const float* src, half* dst, std::int64_t n) {
-  std::int64_t i = 0;
-#if NC_HALF_F16C
-  for (; i + 8 <= n; i += 8) {
-    const __m256 f = _mm256_loadu_ps(src + i);
-    const __m128i h = _mm256_cvtps_ph(f, _MM_FROUND_TO_NEAREST_INT);
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), h);
-  }
+namespace {
+
+/// Runtime selection of the F16C bulk converters (half_f16c.cpp, the only
+/// util TU built with -mf16c).  Resolved once; honors NC_SIMD=scalar so a
+/// forced-scalar run exercises the software conversion end to end.  Safe to
+/// flip either way because all paths round to nearest-even and agree
+/// bit-for-bit (tests/test_util.cpp round-trips every half bit pattern).
+bool use_f16c() {
+  static const bool enabled = [] {
+    if (!detail::half_f16c_compiled()) return false;
+    const char* env = std::getenv("NC_SIMD");
+    if (env != nullptr && std::strcmp(env, "scalar") == 0) return false;
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx") && __builtin_cpu_supports("f16c");
+#else
+    return false;
 #endif
-  for (; i < n; ++i) dst[i] = half(src[i]);
+  }();
+  return enabled;
+}
+
+}  // namespace
+
+void float_to_half_n(const float* src, half* dst, std::int64_t n) {
+  if (use_f16c()) {
+    detail::float_to_half_f16c(src, dst, n);
+    return;
+  }
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = half(src[i]);
 }
 
 void float_to_half_sat_n(const float* src, half* dst, std::int64_t n) {
-  std::int64_t i = 0;
-#if NC_HALF_F16C
-  // Clamp before the narrowing convert.  Operand order matters: VMIN/VMAXPS
-  // return the second operand on an unordered compare, so putting the limit
-  // first lets NaN inputs flow through to the converter unchanged.
-  const __m256 lo = _mm256_set1_ps(-kHalfMax);
-  const __m256 hi = _mm256_set1_ps(kHalfMax);
-  for (; i + 8 <= n; i += 8) {
-    __m256 f = _mm256_loadu_ps(src + i);
-    f = _mm256_min_ps(hi, _mm256_max_ps(lo, f));
-    const __m128i h = _mm256_cvtps_ph(f, _MM_FROUND_TO_NEAREST_INT);
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), h);
+  if (use_f16c()) {
+    detail::float_to_half_sat_f16c(src, dst, n);
+    return;
   }
-#endif
-  for (; i < n; ++i) {
+  for (std::int64_t i = 0; i < n; ++i) {
     float f = src[i];
     // NaN fails both comparisons and propagates unchanged.
     if (f > kHalfMax) f = kHalfMax;
@@ -46,15 +51,11 @@ void float_to_half_sat_n(const float* src, half* dst, std::int64_t n) {
 }
 
 void half_to_float_n(const half* src, float* dst, std::int64_t n) {
-  std::int64_t i = 0;
-#if NC_HALF_F16C
-  for (; i + 8 <= n; i += 8) {
-    const __m128i h =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
-    _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+  if (use_f16c()) {
+    detail::half_to_float_f16c(src, dst, n);
+    return;
   }
-#endif
-  for (; i < n; ++i) dst[i] = static_cast<float>(src[i]);
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = static_cast<float>(src[i]);
 }
 
 }  // namespace nc::util

@@ -146,7 +146,9 @@ static_assert(sizeof(half) == 2, "half must be 2 bytes");
 inline constexpr float kHalfMax = 65504.f;
 
 /// Bulk float32 -> binary16 conversion.  Uses F16C (8 lanes per VCVTPS2PH)
-/// when available; scalar native/software conversion otherwise.
+/// when the CPU supports it — probed at runtime, overridable with
+/// NC_SIMD=scalar; scalar native/software conversion otherwise.  All paths
+/// round to nearest-even and agree bit-for-bit.
 void float_to_half_n(const float* src, half* dst, std::int64_t n);
 
 /// Saturating bulk conversion: out-of-range values clamp to +/-kHalfMax
@@ -160,5 +162,15 @@ void float_to_half_sat_n(const float* src, half* dst, std::int64_t n);
 
 /// Bulk binary16 -> float32 conversion (VCVTPH2PS under F16C).
 void half_to_float_n(const half* src, float* dst, std::int64_t n);
+
+namespace detail {
+/// Internal F16C bulk-conversion entry points, defined in half_f16c.cpp
+/// (the only util TU compiled with -mf16c) and selected at runtime by
+/// half.cpp after a CPUID probe.  Not part of the public API.
+bool half_f16c_compiled();
+void float_to_half_f16c(const float* src, half* dst, std::int64_t n);
+void float_to_half_sat_f16c(const float* src, half* dst, std::int64_t n);
+void half_to_float_f16c(const half* src, float* dst, std::int64_t n);
+}  // namespace detail
 
 }  // namespace nc::util

@@ -1,0 +1,90 @@
+/// \file half_f16c.cpp
+/// \brief F16C bulk half<->float conversions, compiled with per-file target
+///        flags (-mavx2 -mf16c) and selected at runtime by half.cpp.
+///
+/// These used to live in half.cpp behind a compile-time `__F16C__` gate —
+/// dead code in every default (no -march) build.  Isolating them in their
+/// own translation unit lets default-flag binaries still pick the hardware
+/// converter on capable CPUs, mirroring the core/simd_dispatch.cpp scheme.
+#include "util/half.hpp"
+
+#if defined(NC_SIMD_BUILD_F16C) && defined(__F16C__) && defined(__AVX__)
+
+#include <immintrin.h>
+
+namespace nc::util::detail {
+
+bool half_f16c_compiled() { return true; }
+
+void float_to_half_f16c(const float* src, half* dst, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 f = _mm256_loadu_ps(src + i);
+    const __m128i h = _mm256_cvtps_ph(f, _MM_FROUND_TO_NEAREST_INT);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), h);
+  }
+  for (; i < n; ++i) dst[i] = half(src[i]);
+}
+
+void float_to_half_sat_f16c(const float* src, half* dst, std::int64_t n) {
+  // Clamp before the narrowing convert.  Operand order matters: VMIN/VMAXPS
+  // return the second operand on an unordered compare, so putting the limit
+  // first lets NaN inputs flow through to the converter unchanged.
+  const __m256 lo = _mm256_set1_ps(-kHalfMax);
+  const __m256 hi = _mm256_set1_ps(kHalfMax);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 f = _mm256_loadu_ps(src + i);
+    f = _mm256_min_ps(hi, _mm256_max_ps(lo, f));
+    const __m128i h = _mm256_cvtps_ph(f, _MM_FROUND_TO_NEAREST_INT);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), h);
+  }
+  for (; i < n; ++i) {
+    float f = src[i];
+    // NaN fails both comparisons and propagates unchanged.
+    if (f > kHalfMax) f = kHalfMax;
+    else if (f < -kHalfMax) f = -kHalfMax;
+    dst[i] = half(f);
+  }
+}
+
+void half_to_float_f16c(const half* src, float* dst, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+  }
+  for (; i < n; ++i) dst[i] = static_cast<float>(src[i]);
+}
+
+}  // namespace nc::util::detail
+
+#else  // TU built without F16C target support (non-x86 or old compiler)
+
+namespace nc::util::detail {
+
+bool half_f16c_compiled() { return false; }
+
+// Scalar bodies so the symbols always link; never selected at runtime when
+// half_f16c_compiled() is false.
+void float_to_half_f16c(const float* src, half* dst, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = half(src[i]);
+}
+
+void float_to_half_sat_f16c(const float* src, half* dst, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    float f = src[i];
+    if (f > kHalfMax) f = kHalfMax;
+    else if (f < -kHalfMax) f = -kHalfMax;
+    dst[i] = half(f);
+  }
+}
+
+void half_to_float_f16c(const half* src, float* dst, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = static_cast<float>(src[i]);
+}
+
+}  // namespace nc::util::detail
+
+#endif

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Repo lint: header self-containment + on-disk-format test coverage.
+"""Repo lint: header self-containment + format coverage + SIMD containment.
 
-Two cheap, mechanical checks that have each caught real bugs in this tree:
+Three cheap, mechanical checks that have each caught real bugs in this tree:
 
 1. **Header self-containment** — every public header under ``src/`` must
    compile as its own translation unit.  The repo has already shipped two
@@ -17,7 +17,15 @@ Two cheap, mechanical checks that have each caught real bugs in this tree:
    ``FORMAT_GATES`` below — misparsing "v2 field soup as v1" is the exact
    class of bug the gates exist to block.
 
-Exit status 0 iff both checks pass.  Run locally with::
+3. **SIMD containment** — ``<immintrin.h>`` (and kin) may only appear in the
+   translation units listed in ``SIMD_TUS``, each of which must keep its
+   ``NC_SIMD_BUILD_*`` guard macro.  The build passes no global ``-march``
+   flags, so an intrinsics include anywhere else is either dead code behind
+   an always-false ``#ifdef`` (the bug the runtime dispatcher replaced) or a
+   TU that breaks on non-x86; headers may never include intrinsics because
+   any TU could pull them in.
+
+Exit status 0 iff all checks pass.  Run locally with::
 
     python3 tools/lint/check_headers.py            # from the repo root
     cmake --build build --target check_headers     # same, via CMake
@@ -49,6 +57,21 @@ FORMAT_GATES = {
 
 KIND_RE = re.compile(
     r"char\s+\w*[Kk]ind\[4\]\s*=\s*\{\s*'(.)'\s*,\s*'(.)'\s*,\s*'(.)'\s*,\s*'(.)'\s*\}")
+
+# The only TUs allowed to include intrinsics headers, with the guard macro
+# each must test (the macro is defined per-file by src/CMakeLists.txt only
+# when the compiler accepted the matching -m flags; a flagless build of the
+# same file must fall back to its portable stub).
+SIMD_TUS = {
+    "src/core/simd_avx2.cpp": "NC_SIMD_BUILD_AVX2",
+    "src/core/simd_avx512.cpp": "NC_SIMD_BUILD_AVX512",
+    "src/util/half_f16c.cpp": "NC_SIMD_BUILD_F16C",
+}
+
+INTRIN_RE = re.compile(
+    r'^\s*#\s*include\s*[<"](?:immintrin|x86intrin|emmintrin|smmintrin|'
+    r'tmmintrin|nmmintrin|wmmintrin|avxintrin|xmmintrin|pmmintrin)\.h[>"]',
+    re.MULTILINE)
 
 
 def find_headers(src_dir: str) -> list[str]:
@@ -148,6 +171,47 @@ def check_format_gates(repo: str) -> int:
     return failures
 
 
+def check_simd_containment(repo: str) -> int:
+    failures = 0
+    offenders: list[str] = []
+    for root, _dirs, files in os.walk(os.path.join(repo, "src")):
+        for name in sorted(files):
+            if not name.endswith((".cpp", ".hpp", ".h")):
+                continue
+            path = os.path.join(root, name)
+            rel = os.path.relpath(path, repo).replace(os.sep, "/")
+            with open(path, encoding="utf-8") as f:
+                content = f.read()
+            has_intrin = bool(INTRIN_RE.search(content))
+            if rel in SIMD_TUS:
+                macro = SIMD_TUS[rel]
+                if not has_intrin:
+                    failures += 1
+                    print(f"FAIL {rel}: registered as a SIMD TU but includes "
+                          f"no intrinsics header (update SIMD_TUS if it was "
+                          f"de-vectorized)", file=sys.stderr)
+                if macro not in content:
+                    failures += 1
+                    print(f"FAIL {rel}: must guard its intrinsics on "
+                          f"defined({macro}) so a flagless build degrades to "
+                          f"the portable stub", file=sys.stderr)
+            elif has_intrin:
+                failures += 1
+                offenders.append(rel)
+                print(f"FAIL {rel}: intrinsics header outside the dispatch "
+                      f"TUs ({', '.join(sorted(SIMD_TUS))}); route the kernel "
+                      f"through core/simd_dispatch.hpp instead", file=sys.stderr)
+    missing = [tu for tu in SIMD_TUS
+               if not os.path.exists(os.path.join(repo, tu))]
+    if missing:
+        failures += len(missing)
+        print(f"FAIL SIMD_TUS entries missing from tree: "
+              f"{', '.join(sorted(missing))}", file=sys.stderr)
+    print(f"simd containment: intrinsics confined to {len(SIMD_TUS)} "
+          f"dispatch TUs, {failures} violation(s)")
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repo", default=os.getcwd(),
@@ -158,6 +222,7 @@ def main() -> int:
     repo = os.path.abspath(args.repo)
     failures = check_self_containment(args.cxx, repo)
     failures += check_format_gates(repo)
+    failures += check_simd_containment(repo)
     if failures:
         print(f"check_headers: {failures} failure(s)", file=sys.stderr)
         return 1
