@@ -32,6 +32,7 @@
 #include "metrics/metrics.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
+#include "util/topology.hpp"
 
 namespace {
 
@@ -102,8 +103,7 @@ int main(int argc, char** argv) {
   std::size_t n_workers = static_cast<std::size_t>(
       std::max<std::int64_t>(0, args.get_int("workers")));
   if (n_workers == 0) {
-    n_workers = std::min<std::size_t>(
-        4, std::max(1u, std::thread::hardware_concurrency()));
+    n_workers = std::min<std::size_t>(4, util::hardware_threads());
   }
   // Worker-pool parallelism only — same pinning as bench_stream, so
   // wedges/s columns are comparable across benches.

@@ -28,10 +28,19 @@
 /// learning-free baselines — the multi-backend story behind the
 /// rate--distortion arena (bench_rd).
 ///
+/// Elastic pool: `--workers 0` autoscales the live worker count between
+/// `--min-workers` and `--max-workers` (default: every hardware thread) from
+/// observed load; `--pin` / `--no-pin` control core pinning + NUMA shard
+/// homing.  The resolved topology (cores, NUMA nodes, pinning map) prints at
+/// startup and the scaling history (events, hwm/lwm, time-weighted average
+/// live workers) joins the exit summary.
+///
 /// Run:  ./streaming_daq [--rate 200] [--seconds 5] [--batch 16]
 ///                       [--workers 1] [--producers 1] [--ordered]
 ///                       [--codec bcae-fp16] [--intake auto|single|sharded]
 ///                       [--spill-dir DIR]
+///                       [--workers 0 [--min-workers N] [--max-workers N]
+///                        [--pin | --no-pin]]
 ///       ./streaming_daq --roundtrip [--wedges 16] [--batch 4] [--workers 2]
 #include <algorithm>
 #include <atomic>
@@ -51,8 +60,45 @@
 #include "metrics/metrics.hpp"
 #include "tpc/dataset.hpp"
 #include "util/cli.hpp"
+#include "util/topology.hpp"
 
 namespace {
+
+/// Resolved topology + pinning decision, printed before the pool starts.
+void print_topology(const nc::codec::StreamOptions& options) {
+  const auto& topo = nc::util::system_topology();
+  std::printf("topology: %zu allowed cpu(s), %d numa node(s)%s; pinning %s\n",
+              topo.cpus.size(), topo.n_nodes,
+              topo.numa_from_sysfs ? "" : " (no sysfs numa map)",
+              !options.pin_workers        ? "off"
+              : topo.affinity_supported   ? "on"
+                                          : "unsupported (no-op)");
+}
+
+/// Worker-slot -> core pin map as the pipeline resolved it (empty when
+/// pinning is off or unsupported).
+void print_pin_map(const std::vector<nc::util::CpuInfo>& placement) {
+  if (placement.empty()) return;
+  std::printf("pin map:");
+  for (std::size_t w = 0; w < placement.size(); ++w) {
+    std::printf(" w%zu->cpu%d/n%d", w, placement[w].cpu, placement[w].node);
+  }
+  std::printf("\n");
+}
+
+/// Elastic scaling history (skipped for static pools: nothing moved).
+void print_scaling(const char* label, const nc::codec::StreamStats& stats,
+                   const nc::codec::StreamOptions& options) {
+  if (!options.elastic) return;
+  std::printf("  %s: %lld up / %lld down scale events, live workers "
+              "%lld..%lld (avg %.2f), %lld pinned\n",
+              label, static_cast<long long>(stats.scale_up_events),
+              static_cast<long long>(stats.scale_down_events),
+              static_cast<long long>(stats.workers_lwm),
+              static_cast<long long>(stats.workers_hwm),
+              stats.avg_live_workers,
+              static_cast<long long>(stats.workers_pinned));
+}
 
 void print_stream_stats(const char* label, const nc::codec::StreamStats& stats) {
   std::printf("  %s: %lld wedges at %.1f wedges/s (%.2f busy-cores avg, "
@@ -89,6 +135,7 @@ int run_roundtrip(const nc::codec::WedgeCodec& wedge_codec,
         std::lock_guard<std::mutex> lock(store_mutex);
         storage.emplace(seq, os.str());
       });
+  print_pin_map(compressor.placement());
   for (std::int64_t i = 0; i < n; ++i) {
     // Blocking submit: the offline path trades latency for zero drops, so
     // seq i maps back to wedges[i % wedges.size()].
@@ -140,7 +187,9 @@ int run_roundtrip(const nc::codec::WedgeCodec& wedge_codec,
               nc::codec::to_string(compressor.options().intake),
               options.ordered ? ", ordered" : "");
   print_stream_stats("compress  ", cstats);
+  print_scaling("scale(enc) ", cstats, options);
   print_stream_stats("decompress", dstats);
+  print_scaling("scale(dec) ", dstats, options);
   std::printf("  storage:    %lld -> %lld bytes (%.2fx reduction, headers "
               "included)\n",
               static_cast<long long>(raw_bytes),
@@ -172,7 +221,17 @@ int main(int argc, char** argv) {
   args.add_option("seconds", "5", "stream duration");
   args.add_option("batch", "16", "codec batch size");
   args.add_option("queue", "64", "input queue capacity (backpressure bound)");
-  args.add_option("workers", "1", "codec worker threads");
+  args.add_option("workers", "1",
+                  "codec worker threads (0 = elastic: autoscale between "
+                  "--min-workers and --max-workers from observed load)");
+  args.add_option("min-workers", "1", "elastic mode: live worker floor");
+  args.add_option("max-workers", "0",
+                  "elastic mode: live worker ceiling (0 = all hardware "
+                  "threads)");
+  args.add_flag("pin",
+                "pin workers to cores, home intake shards on NUMA nodes "
+                "(default in elastic mode)");
+  args.add_flag("no-pin", "disable pinning (overrides --pin / elastic default)");
   args.add_option("producers", "1", "front-end producer threads");
   args.add_option("wedges", "16", "roundtrip mode: wedges through the chain");
   args.add_option("codec", "bcae-fp16",
@@ -235,8 +294,25 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("queue")));
   options.batch_size =
       static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("batch")));
-  options.n_workers =
-      static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("workers")));
+  const std::int64_t workers_flag = args.get_int("workers");
+  if (workers_flag == 0) {
+    // Elastic mode: start at the floor, let the controller grow the live
+    // set toward the ceiling as the offered rate demands.
+    options.elastic = true;
+    options.min_workers = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, args.get_int("min-workers")));
+    const std::int64_t max_flag = args.get_int("max-workers");
+    options.max_workers = max_flag > 0 ? static_cast<std::size_t>(max_flag)
+                                       : util::hardware_threads();
+    options.n_workers = options.min_workers;
+  } else {
+    options.n_workers =
+        static_cast<std::size_t>(std::max<std::int64_t>(1, workers_flag));
+  }
+  // Pinning defaults on in elastic mode (the topology-aware deployment the
+  // mode exists for); --pin forces it for static pools, --no-pin wins.
+  options.pin_workers =
+      !args.get_bool("no-pin") && (args.get_bool("pin") || options.elastic);
   options.ordered = args.get_bool("ordered");
   options.spill_dir = args.get("spill-dir");
   const std::string intake = args.get("intake");
@@ -250,6 +326,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  print_topology(options);
+
   if (roundtrip) {
     const std::int64_t n = std::max<std::int64_t>(1, args.get_int("wedges"));
     return run_roundtrip(*wedge_codec, wedges, options, n);
@@ -261,6 +339,7 @@ int main(int argc, char** argv) {
       *wedge_codec, options, [&](codec::WedgeEnvelope&& env) {
         stored_bytes.fetch_add(env.payload_bytes(), std::memory_order_relaxed);
       });
+  print_pin_map(stream.placement());
 
   // Producers: fixed aggregate rate split across the front-end threads.
   const double rate = args.get_double("rate");
@@ -288,10 +367,15 @@ int main(int argc, char** argv) {
   const auto stats = stream.finish();
   const std::int64_t raw_bytes = stats.wedges_compressed *
                                  wedges.front().numel() * 2;  // fp16 accounting
+  const std::string workers_desc =
+      options.elastic
+          ? "elastic " + std::to_string(options.min_workers) + ".." +
+                std::to_string(options.max_workers) + " worker(s)"
+          : std::to_string(options.n_workers) + " worker(s)";
   std::printf("\nstream summary (%.1f s at %.0f wedges/s offered, codec %s, "
-              "%d producer(s), %zu worker(s), %s intake%s):\n",
+              "%d producer(s), %s, %s intake%s):\n",
               duration, rate, wedge_codec->name().c_str(), n_producers,
-              options.n_workers,
+              workers_desc.c_str(),
               codec::to_string(stream.options().intake),
               options.ordered ? ", ordered sink" : "");
   std::printf("  offered:     %lld wedges\n",
@@ -328,6 +412,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(stats.queue_depth_hwm),
               static_cast<long long>(stats.queue_capacity),
               static_cast<long long>(stats.batches_stolen));
+  print_scaling("scaling    ", stats, options);
   for (std::size_t w = 0; w < stats.per_worker.size(); ++w) {
     const auto& ws = stats.per_worker[w];
     std::printf("  worker %zu:    %lld wedges in %lld batches (%lld stolen), "

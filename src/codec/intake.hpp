@@ -230,6 +230,13 @@ class Intake {
   virtual std::size_t pop_batch(std::size_t worker_index, std::vector<T>& out,
                                 std::size_t max_items,
                                 std::size_t adaptive_share, bool* stolen) = 0;
+  /// Elastic-pool hint: workers [0, n_live) are the ones currently popping.
+  /// Sharded intakes re-home fresh pushes onto live workers' shards so a
+  /// scaled-down worker's shard drains and stays empty instead of parking
+  /// items behind a sleeping owner; a single queue has nothing to re-home.
+  /// Safe to call concurrently with pushes/pops; purely a routing hint —
+  /// capacity, backpressure and delivery guarantees are unaffected.
+  virtual void set_active_workers(std::size_t /*n_live*/) {}
   virtual void close() = 0;
   /// Approximate items currently queued.
   virtual std::size_t size() const = 0;

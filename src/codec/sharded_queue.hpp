@@ -40,6 +40,13 @@
 /// Locking: push/pop touch only one shard mutex on the fast path; the
 /// shared `park_mutex_` is taken only to sleep (empty intake) or to wake
 /// sleepers, never per item under load.
+///
+/// Elastic/topology hooks (used by the elastic StreamPipeline pool):
+/// `set_active_workers(k)` re-homes fresh pushes onto the shards of the k
+/// live workers so a scaled-down worker's shard drains instead of queueing
+/// behind a sleeping owner, and `set_shard_nodes` records each shard's NUMA
+/// node so kDeepest steals prefer same-node victims.  Neither affects
+/// capacity, backpressure or the pop_batch terminal contract.
 #pragma once
 
 #include <algorithm>
@@ -77,12 +84,19 @@ class ShardedQueue final : public Intake<T> {
     if (closed_.load()) return false;
     const std::uint64_t ticket = next_ticket_.fetch_add(1);
     const std::size_t n = shards_.size();
-    const std::size_t primary = static_cast<std::size_t>(ticket % n);
+    // Elastic routing: round-robin (and the least-depth fallback) target
+    // only the shards owned by live workers, so a scaled-down worker's
+    // shard receives nothing new and drains to empty via steals.  The
+    // full-capacity sweep below still covers every shard — routing never
+    // tightens backpressure, it only moves fresh items off parked shards.
+    const std::size_t route = route_limit_.load(std::memory_order_relaxed);
+    const std::size_t primary = static_cast<std::size_t>(ticket % route);
     if (push_to(primary, ticket, item)) return true;
-    // Round-robin target full: fall back to the shallowest shard with space.
+    // Round-robin target full: fall back to the shallowest live shard with
+    // space.
     std::size_t best = n;
     std::size_t best_depth = std::numeric_limits<std::size_t>::max();
-    for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t s = 0; s < route; ++s) {
       if (s == primary) continue;
       const std::size_t d = shards_[s].depth.load();
       if (d < shard_capacity_ && d < best_depth) {
@@ -167,6 +181,25 @@ class ShardedQueue final : public Intake<T> {
     closed_.store(true);
     park_cv_.notify_all();
     space_cv_.notify_all();
+  }
+
+  /// Elastic routing hint (see Intake): fresh pushes target shards owned by
+  /// workers [0, n_live).  Items already sitting in a deactivated shard are
+  /// still popped/stolen — pop_batch always scans every shard.
+  void set_active_workers(std::size_t n_live) override {
+    route_limit_.store(std::clamp<std::size_t>(n_live, 1, shards_.size()),
+                       std::memory_order_relaxed);
+  }
+
+  /// Topology hint: NUMA node per shard (index = shard).  Under kDeepest a
+  /// worker whose own shard runs dry steals from the deepest *same-node*
+  /// shard before crossing nodes.  Must be set before workers start popping
+  /// (the pipeline constructor does) — it is read without synchronization.
+  /// kOldestHead ignores it: ordered-mode progress (steering the puller to
+  /// the next-to-emit item) outranks locality.
+  void set_shard_nodes(std::vector<int> nodes) {
+    shard_nodes_ = std::move(nodes);
+    shard_nodes_.resize(shards_.size(), 0);
   }
 
   std::size_t size() const override { return total_items_.load(); }
@@ -283,18 +316,26 @@ class ShardedQueue final : public Intake<T> {
       }
       return best;
     }
-    // kDeepest: drain the worker's own shard first, then the deepest.
+    // kDeepest: drain the worker's own shard first, then the deepest shard
+    // on the worker's own NUMA node (cheap steal: the deque's lines are
+    // already local), then the deepest anywhere.
     if (shards_[own].depth.load() > 0) return own;
-    std::size_t best = n;
-    std::size_t best_depth = 0;
+    const bool have_nodes = !shard_nodes_.empty();
+    const int own_node = have_nodes ? shard_nodes_[own] : 0;
+    std::size_t best = n, best_local = n;
+    std::size_t best_depth = 0, best_local_depth = 0;
     for (std::size_t s = 0; s < n; ++s) {
       const std::size_t d = shards_[s].depth.load();
       if (d > best_depth) {
         best = s;
         best_depth = d;
       }
+      if (have_nodes && shard_nodes_[s] == own_node && d > best_local_depth) {
+        best_local = s;
+        best_local_depth = d;
+      }
     }
-    return best;
+    return best_local < n ? best_local : best;
   }
 
   bool has_space() const {
@@ -307,10 +348,16 @@ class ShardedQueue final : public Intake<T> {
   StealPolicy policy_;
   std::vector<Shard> shards_;
   std::size_t shard_capacity_ = 1;
+  /// NUMA node per shard (empty = no topology hint); written once before
+  /// workers start, read-only afterwards.
+  std::vector<int> shard_nodes_;
   std::atomic<std::uint64_t> next_ticket_{0};
   std::atomic<std::size_t> total_items_{0};
   std::atomic<std::size_t> depth_high_water_{0};
   std::atomic<bool> closed_{false};
+  /// Fresh pushes route round-robin over shards [0, route_limit_); starts
+  /// at "all shards" and tracks the elastic pool's live worker count.
+  std::atomic<std::size_t> route_limit_{shards_.size()};
 
   // Sleep/wake layer: taken only when a producer or worker must park.
   std::mutex park_mutex_;

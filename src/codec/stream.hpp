@@ -68,6 +68,16 @@ class StreamCompressor {
 
   const StreamOptions& options() const { return pipeline_.options(); }
 
+  /// Elastic pool passthroughs (see StreamPipeline): manual/observed live
+  /// worker count and the resolved core placement when pinning is active.
+  std::size_t set_live_workers(std::size_t n, const char* reason = "manual") {
+    return pipeline_.set_live_workers(n, reason);
+  }
+  std::size_t live_workers() const { return pipeline_.live_workers(); }
+  const std::vector<util::CpuInfo>& placement() const {
+    return pipeline_.placement();
+  }
+
  private:
   StreamPipeline<core::Tensor, WedgeEnvelope> pipeline_;
 };
@@ -109,6 +119,15 @@ class StreamDecompressor {
   StreamStats finish() { return pipeline_.finish(); }
 
   const StreamOptions& options() const { return pipeline_.options(); }
+
+  /// Elastic pool passthroughs (see StreamPipeline).
+  std::size_t set_live_workers(std::size_t n, const char* reason = "manual") {
+    return pipeline_.set_live_workers(n, reason);
+  }
+  std::size_t live_workers() const { return pipeline_.live_workers(); }
+  const std::vector<util::CpuInfo>& placement() const {
+    return pipeline_.placement();
+  }
 
  private:
   StreamPipeline<WedgeEnvelope, core::Tensor> pipeline_;

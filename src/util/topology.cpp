@@ -1,0 +1,194 @@
+/// \file topology.cpp
+/// \brief CPU/NUMA discovery and thread pinning (see topology.hpp).
+///
+/// This is the only translation unit in the tree allowed to touch the
+/// affinity syscalls (`pthread_setaffinity_np`, `sched_getaffinity`,
+/// `cpu_set_t`) — tools/lint/check_headers.py enforces the containment so
+/// no header can leak a platform dependency into arbitrary TUs.
+#include "util/topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#define NC_TOPOLOGY_HAVE_AFFINITY 1
+#else
+#define NC_TOPOLOGY_HAVE_AFFINITY 0
+#endif
+
+namespace nc::util {
+namespace {
+
+bool topology_disabled() {
+  const char* env = std::getenv("NC_TOPOLOGY");
+  return env != nullptr && std::string(env) == "off";
+}
+
+/// CPUs the scheduler currently allows this process to run on; falls back
+/// to 0..hardware_threads()-1 where the allowed set is unknowable.
+std::vector<int> allowed_cpus() {
+#if NC_TOPOLOGY_HAVE_AFFINITY
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    std::vector<int> cpus;
+    for (int c = 0; c < CPU_SETSIZE; ++c) {
+      if (CPU_ISSET(c, &set)) cpus.push_back(c);
+    }
+    if (!cpus.empty()) return cpus;
+  }
+#endif
+  std::vector<int> cpus(hardware_threads());
+  for (std::size_t i = 0; i < cpus.size(); ++i) cpus[i] = static_cast<int>(i);
+  return cpus;
+}
+
+/// Per-node cpulist strings from /sys/devices/system/node (index = node
+/// id, "" = node id absent).  Empty on hosts without the sysfs tree.
+std::vector<std::string> sysfs_node_cpulists() {
+  std::vector<std::string> lists;
+  const std::filesystem::path root = "/sys/devices/system/node";
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(root, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("node", 0) != 0) continue;
+    const std::string id_text = name.substr(4);
+    if (id_text.empty() ||
+        !std::all_of(id_text.begin(), id_text.end(),
+                     [](unsigned char ch) { return std::isdigit(ch); })) {
+      continue;
+    }
+    const auto node = static_cast<std::size_t>(std::stoul(id_text));
+    if (node > 4096) continue;  // defensive: garbage dir name
+    std::ifstream in(entry.path() / "cpulist");
+    if (!in) continue;
+    std::string line;
+    std::getline(in, line);
+    if (lists.size() <= node) lists.resize(node + 1);
+    lists[node] = line;
+  }
+  return lists;
+}
+
+Topology detect_system_topology() {
+  if (topology_disabled()) {
+    return detect_topology(allowed_cpus(), {}, /*affinity_supported=*/false);
+  }
+  return detect_topology(allowed_cpus(), sysfs_node_cpulists(),
+                         NC_TOPOLOGY_HAVE_AFFINITY != 0);
+}
+
+}  // namespace
+
+std::size_t hardware_threads() {
+  // The standard allows hardware_concurrency() == 0 ("not computable");
+  // every consumer in this tree needs a positive thread count.
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+std::vector<int> parse_cpu_list(const std::string& text) {
+  std::vector<int> cpus;
+  std::stringstream ss(text);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    // Trim whitespace (sysfs lines end in '\n' and may hold spaces).
+    const auto first = token.find_first_not_of(" \t\n\r");
+    if (first == std::string::npos) continue;
+    const auto last = token.find_last_not_of(" \t\n\r");
+    token = token.substr(first, last - first + 1);
+    int lo = 0;
+    int hi = 0;
+    char dash = 0;
+    std::stringstream tok(token);
+    if (!(tok >> lo) || lo < 0) return {};
+    if (tok >> dash) {
+      if (dash != '-' || !(tok >> hi) || hi < lo) return {};
+    } else {
+      hi = lo;
+    }
+    if (hi - lo > 65536) return {};  // defensive: corrupt range
+    for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+Topology detect_topology(const std::vector<int>& allowed,
+                         const std::vector<std::string>& node_cpulists,
+                         bool affinity_supported) {
+  std::map<int, int> node_of;  // cpu -> NUMA node
+  bool any_sysfs = false;
+  for (std::size_t node = 0; node < node_cpulists.size(); ++node) {
+    const auto cpus = parse_cpu_list(node_cpulists[node]);
+    if (cpus.empty()) continue;
+    any_sysfs = true;
+    for (const int c : cpus) node_of[c] = static_cast<int>(node);
+  }
+  Topology topo;
+  topo.numa_from_sysfs = any_sysfs;
+  topo.affinity_supported = affinity_supported;
+  for (const int c : allowed) {
+    const auto it = node_of.find(c);
+    // A CPU missing from every cpulist (or no sysfs at all) lands on node
+    // 0 — placement still works, it just loses locality information.
+    topo.cpus.push_back(CpuInfo{c, it != node_of.end() ? it->second : 0});
+  }
+  if (topo.cpus.empty()) topo.cpus.push_back(CpuInfo{0, 0});
+  // Node-major, CPU-ascending: workers filled in index order pack one node
+  // before spilling onto the next, so the always-live low-index workers
+  // (the elastic floor) share locality.
+  std::stable_sort(topo.cpus.begin(), topo.cpus.end(),
+                   [](const CpuInfo& a, const CpuInfo& b) {
+                     return a.node != b.node ? a.node < b.node : a.cpu < b.cpu;
+                   });
+  std::vector<int> nodes;
+  for (const auto& c : topo.cpus) nodes.push_back(c.node);
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  topo.n_nodes = static_cast<int>(nodes.size());
+  return topo;
+}
+
+const Topology& system_topology() {
+  static const Topology topo = detect_system_topology();
+  return topo;
+}
+
+bool pin_current_thread(int cpu) {
+  if (cpu < 0 || !system_topology().affinity_supported) return false;
+#if NC_TOPOLOGY_HAVE_AFFINITY
+  if (cpu >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+bool unpin_current_thread() {
+  const Topology& topo = system_topology();
+  if (!topo.affinity_supported) return false;
+#if NC_TOPOLOGY_HAVE_AFFINITY
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (const auto& c : topo.cpus) {
+    if (c.cpu >= 0 && c.cpu < CPU_SETSIZE) CPU_SET(c.cpu, &set);
+  }
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace nc::util

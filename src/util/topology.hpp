@@ -1,0 +1,82 @@
+/// \file topology.hpp
+/// \brief CPU topology discovery and thread placement for the elastic,
+///        topology-aware worker pool.
+///
+/// The streaming pipeline's deployment target is a DAQ host: workers should
+/// land on specific cores (so a pipeline can own a socket) and each worker's
+/// intake shard should live on that worker's NUMA node.  This layer wraps
+/// the three platform facts the pipeline needs:
+///
+///  * `hardware_threads()` — `std::thread::hardware_concurrency()` with the
+///    0-return guarded (the standard allows 0 = "unknown"; every call site
+///    in this tree goes through here instead of hand-rolling the clamp).
+///  * `system_topology()` — the CPUs this *process* may run on (the
+///    scheduler-allowed set where that is knowable, so cgroup/cpuset
+///    restrictions are respected), each tagged with its NUMA node from
+///    `/sys/devices/system/node/node*/cpulist`.  Hosts without sysfs NUMA
+///    information degrade to a single flat node.
+///  * `pin_current_thread(cpu)` — the pthread affinity syscall where
+///    available; a graceful `false` no-op everywhere else.  Affinity
+///    syscalls live only in topology.cpp (enforced by
+///    tools/lint/check_headers.py, the same containment pattern as the
+///    SIMD intrinsics TUs).
+///
+/// Setting the environment variable `NC_TOPOLOGY=off` disables discovery
+/// and pinning process-wide (flat single-node topology, every pin a no-op)
+/// — the portable-degradation path CI exercises explicitly, and an
+/// operator escape hatch when an external placement tool owns affinity.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nc::util {
+
+/// One schedulable CPU and the NUMA node it belongs to.
+struct CpuInfo {
+  int cpu = 0;   ///< kernel CPU id (valid for pin_current_thread)
+  int node = 0;  ///< NUMA node id; 0 on hosts without NUMA information
+};
+
+/// The process-visible CPU set, node-major (node 0's CPUs first), plus how
+/// much of it was actually discovered vs assumed.
+struct Topology {
+  std::vector<CpuInfo> cpus;  ///< allowed CPUs, node-major order
+  int n_nodes = 1;            ///< distinct NUMA nodes covering `cpus`
+  bool numa_from_sysfs = false;   ///< node ids read from /sys (vs flat fallback)
+  bool affinity_supported = false;  ///< pin_current_thread can succeed here
+};
+
+/// `std::thread::hardware_concurrency()` with the 0 = "unknown" return
+/// clamped to 1.  The one shared guard for every call site in the tree.
+std::size_t hardware_threads();
+
+/// Parse a sysfs-style CPU list ("0-3,8,10-11") into CPU ids, ascending.
+/// Malformed input yields an empty vector (never throws) — the caller's
+/// fallback path handles it like a missing file.
+std::vector<int> parse_cpu_list(const std::string& text);
+
+/// Pure detection core, exposed for tests: build a Topology from an
+/// allowed-CPU set and per-node cpulist strings (index = node id; empty
+/// string = node absent).  An empty `node_cpulists` produces the flat
+/// single-node fallback.
+Topology detect_topology(const std::vector<int>& allowed_cpus,
+                         const std::vector<std::string>& node_cpulists,
+                         bool affinity_supported);
+
+/// The cached process topology (detected once, first call).  Honors
+/// `NC_TOPOLOGY=off`.
+const Topology& system_topology();
+
+/// Pin the calling thread to one CPU.  Returns false — leaving the thread's
+/// affinity untouched — when pinning is unsupported, disabled via
+/// `NC_TOPOLOGY=off`, or the syscall fails (e.g. the CPU left the cpuset);
+/// callers treat false as "run unpinned", never as an error.
+bool pin_current_thread(int cpu);
+
+/// Restore the calling thread's affinity to every allowed CPU (undo a pin).
+/// Same graceful-false contract as pin_current_thread.
+bool unpin_current_thread();
+
+}  // namespace nc::util

@@ -1,0 +1,150 @@
+/// \file test_topology.cpp
+/// \brief CPU/NUMA discovery and pinning (util/topology).
+///
+/// The detection core is pure — `parse_cpu_list` and `detect_topology` take
+/// injected sysfs strings — so most of this suite is exact-value assertions
+/// with no platform dependence.  The live-system tests at the bottom only
+/// assert invariants that hold on every host, including the degraded paths:
+/// ctest registers a second run of this binary with NC_TOPOLOGY=off (the
+/// ".notopo" variant), where affinity must report unsupported and every pin
+/// must be a graceful false.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/topology.hpp"
+
+namespace {
+
+using nc::util::CpuInfo;
+using nc::util::detect_topology;
+using nc::util::parse_cpu_list;
+using nc::util::Topology;
+
+bool topology_env_off() {
+  const char* env = std::getenv("NC_TOPOLOGY");
+  return env != nullptr && std::string(env) == "off";
+}
+
+TEST(Topology, HardwareThreadsIsPositive) {
+  EXPECT_GE(nc::util::hardware_threads(), 1u);
+}
+
+TEST(Topology, ParseCpuListHandlesSysfsForms) {
+  EXPECT_EQ(parse_cpu_list(""), (std::vector<int>{}));
+  EXPECT_EQ(parse_cpu_list("0"), (std::vector<int>{0}));
+  EXPECT_EQ(parse_cpu_list("0-3"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(parse_cpu_list("0,2,4"), (std::vector<int>{0, 2, 4}));
+  EXPECT_EQ(parse_cpu_list("0-1,4-5"), (std::vector<int>{0, 1, 4, 5}));
+  // Real /sys lines end in a newline; tokens may carry spaces.
+  EXPECT_EQ(parse_cpu_list("0-2\n"), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(parse_cpu_list(" 1 , 3 "), (std::vector<int>{1, 3}));
+  // Duplicates collapse, output is ascending.
+  EXPECT_EQ(parse_cpu_list("3,1,1-2"), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Topology, ParseCpuListRejectsGarbageWholesale) {
+  EXPECT_TRUE(parse_cpu_list("abc").empty());
+  EXPECT_TRUE(parse_cpu_list("-1").empty());
+  EXPECT_TRUE(parse_cpu_list("3-1").empty());  // inverted range
+  EXPECT_TRUE(parse_cpu_list("0-99999999").empty());  // absurd span
+}
+
+TEST(Topology, DetectOrdersNodeMajor) {
+  // Interleaved node membership (the common SMT layout: even CPUs node 0,
+  // odd CPUs node 1) must come out node-major, CPU-ascending — the order
+  // that packs the elastic floor's low-index workers onto one node.
+  const Topology topo =
+      detect_topology({0, 1, 2, 3}, {"0,2", "1,3"}, /*affinity=*/true);
+  ASSERT_EQ(topo.cpus.size(), 4u);
+  EXPECT_EQ(topo.cpus[0].cpu, 0);
+  EXPECT_EQ(topo.cpus[1].cpu, 2);
+  EXPECT_EQ(topo.cpus[2].cpu, 1);
+  EXPECT_EQ(topo.cpus[3].cpu, 3);
+  EXPECT_EQ(topo.cpus[0].node, 0);
+  EXPECT_EQ(topo.cpus[1].node, 0);
+  EXPECT_EQ(topo.cpus[2].node, 1);
+  EXPECT_EQ(topo.cpus[3].node, 1);
+  EXPECT_EQ(topo.n_nodes, 2);
+  EXPECT_TRUE(topo.numa_from_sysfs);
+  EXPECT_TRUE(topo.affinity_supported);
+}
+
+TEST(Topology, DetectRespectsAllowedSubset) {
+  // A cgroup/cpuset restriction: only CPUs 1 and 3 are schedulable.
+  const Topology topo = detect_topology({1, 3}, {"0-3"}, true);
+  ASSERT_EQ(topo.cpus.size(), 2u);
+  EXPECT_EQ(topo.cpus[0].cpu, 1);
+  EXPECT_EQ(topo.cpus[1].cpu, 3);
+  EXPECT_EQ(topo.n_nodes, 1);
+}
+
+TEST(Topology, DetectWithoutSysfsFallsFlat) {
+  const Topology topo = detect_topology({0, 1, 2}, {}, false);
+  ASSERT_EQ(topo.cpus.size(), 3u);
+  for (const auto& c : topo.cpus) EXPECT_EQ(c.node, 0);
+  EXPECT_EQ(topo.n_nodes, 1);
+  EXPECT_FALSE(topo.numa_from_sysfs);
+  EXPECT_FALSE(topo.affinity_supported);
+}
+
+TEST(Topology, DetectUnknownCpuLandsOnNodeZero) {
+  // A CPU absent from every cpulist keeps placement working, just without
+  // locality information.
+  const Topology topo = detect_topology({0, 9}, {"0", "1-3"}, true);
+  ASSERT_EQ(topo.cpus.size(), 2u);
+  EXPECT_EQ(topo.cpus[0].cpu, 0);
+  EXPECT_EQ(topo.cpus[0].node, 0);
+  EXPECT_EQ(topo.cpus[1].cpu, 9);
+  EXPECT_EQ(topo.cpus[1].node, 0);
+}
+
+TEST(Topology, DetectEmptyAllowedStillYieldsOneCpu) {
+  // Degenerate input must never produce an empty placement table (the
+  // pipeline indexes cpus[w % size]).
+  const Topology topo = detect_topology({}, {}, false);
+  ASSERT_EQ(topo.cpus.size(), 1u);
+  EXPECT_EQ(topo.cpus[0].cpu, 0);
+}
+
+// --- live system (both the native and the NC_TOPOLOGY=off ctest runs) ------
+
+TEST(Topology, SystemTopologyInvariants) {
+  const Topology& topo = nc::util::system_topology();
+  ASSERT_FALSE(topo.cpus.empty());
+  EXPECT_GE(topo.n_nodes, 1);
+  // Node-major order and node ids covered by n_nodes.
+  for (std::size_t i = 1; i < topo.cpus.size(); ++i) {
+    EXPECT_LE(topo.cpus[i - 1].node, topo.cpus[i].node);
+  }
+  for (const auto& c : topo.cpus) {
+    EXPECT_GE(c.cpu, 0);
+    EXPECT_GE(c.node, 0);
+  }
+  if (topology_env_off()) {
+    // The escape hatch: discovery disabled, flat single node, no pinning.
+    EXPECT_FALSE(topo.affinity_supported);
+    EXPECT_FALSE(topo.numa_from_sysfs);
+    EXPECT_EQ(topo.n_nodes, 1);
+  }
+}
+
+TEST(Topology, PinUnpinRoundTripOrGracefulNoOp) {
+  const Topology& topo = nc::util::system_topology();
+  if (topo.affinity_supported) {
+    EXPECT_TRUE(nc::util::pin_current_thread(topo.cpus.front().cpu));
+    EXPECT_TRUE(nc::util::unpin_current_thread());
+  } else {
+    // Unsupported (non-Linux, or NC_TOPOLOGY=off): both must refuse
+    // gracefully rather than touch affinity.
+    EXPECT_FALSE(nc::util::pin_current_thread(topo.cpus.front().cpu));
+    EXPECT_FALSE(nc::util::unpin_current_thread());
+  }
+  // Nonsense CPU ids never succeed, supported or not.
+  EXPECT_FALSE(nc::util::pin_current_thread(-1));
+}
+
+}  // namespace

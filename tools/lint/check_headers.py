@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Repo lint: header self-containment + format coverage + SIMD containment.
+"""Repo lint: header self-containment + format coverage + syscall containment.
 
-Three cheap, mechanical checks that have each caught real bugs in this tree:
+Four cheap, mechanical checks that have each caught real bugs in this tree:
 
 1. **Header self-containment** — every public header under ``src/`` must
    compile as its own translation unit.  The repo has already shipped two
@@ -24,6 +24,13 @@ Three cheap, mechanical checks that have each caught real bugs in this tree:
    an always-false ``#ifdef`` (the bug the runtime dispatcher replaced) or a
    TU that breaks on non-x86; headers may never include intrinsics because
    any TU could pull them in.
+
+4. **Affinity containment** — thread-affinity syscalls
+   (``pthread_setaffinity_np``, ``sched_getaffinity``, ``cpu_set_t``, ...)
+   may only appear in ``util/topology.cpp``, the one TU that owns the
+   graceful degradation story (non-Linux builds, ``NC_TOPOLOGY=off``).  A
+   bare affinity call anywhere else either breaks portable builds or
+   bypasses the escape hatch; same containment pattern as the SIMD check.
 
 Exit status 0 iff all checks pass.  Run locally with::
 
@@ -72,6 +79,15 @@ INTRIN_RE = re.compile(
     r'^\s*#\s*include\s*[<"](?:immintrin|x86intrin|emmintrin|smmintrin|'
     r'tmmintrin|nmmintrin|wmmintrin|avxintrin|xmmintrin|pmmintrin)\.h[>"]',
     re.MULTILINE)
+
+# The only TU allowed to touch thread-affinity syscalls; everything else
+# goes through the util/topology.hpp wrappers, which degrade gracefully on
+# non-Linux hosts and honor the NC_TOPOLOGY=off escape hatch.
+AFFINITY_TU = "src/util/topology.cpp"
+
+AFFINITY_RE = re.compile(
+    r"\b(?:pthread_(?:set|get)affinity_np|sched_(?:set|get)affinity|"
+    r"cpu_set_t|CPU_ZERO|CPU_SET\b|CPU_ISSET)")
 
 
 def find_headers(src_dir: str) -> list[str]:
@@ -212,6 +228,39 @@ def check_simd_containment(repo: str) -> int:
     return failures
 
 
+def check_affinity_containment(repo: str) -> int:
+    failures = 0
+    tu_path = os.path.join(repo, AFFINITY_TU)
+    if not os.path.exists(tu_path):
+        print(f"FAIL affinity TU missing from tree: {AFFINITY_TU}",
+              file=sys.stderr)
+        return 1
+    with open(tu_path, encoding="utf-8") as f:
+        if not AFFINITY_RE.search(f.read()):
+            failures += 1
+            print(f"FAIL {AFFINITY_TU}: registered as the affinity TU but "
+                  f"makes no affinity syscalls (update AFFINITY_TU if "
+                  f"pinning moved)", file=sys.stderr)
+    for root, _dirs, files in os.walk(os.path.join(repo, "src")):
+        for name in sorted(files):
+            if not name.endswith((".cpp", ".hpp", ".h")):
+                continue
+            path = os.path.join(root, name)
+            rel = os.path.relpath(path, repo).replace(os.sep, "/")
+            if rel == AFFINITY_TU:
+                continue
+            with open(path, encoding="utf-8") as f:
+                if AFFINITY_RE.search(f.read()):
+                    failures += 1
+                    print(f"FAIL {rel}: affinity syscall outside "
+                          f"{AFFINITY_TU}; go through the util/topology.hpp "
+                          f"wrappers so non-Linux builds and NC_TOPOLOGY=off "
+                          f"keep working", file=sys.stderr)
+    print(f"affinity containment: syscalls confined to {AFFINITY_TU}, "
+          f"{failures} violation(s)")
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repo", default=os.getcwd(),
@@ -223,6 +272,7 @@ def main() -> int:
     failures = check_self_containment(args.cxx, repo)
     failures += check_format_gates(repo)
     failures += check_simd_containment(repo)
+    failures += check_affinity_containment(repo)
     if failures:
         print(f"check_headers: {failures} failure(s)", file=sys.stderr)
         return 1
