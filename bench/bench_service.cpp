@@ -1,0 +1,333 @@
+/// \file bench_service.cpp
+/// \brief Compression-service bench: session-scaling sweep plus the
+///        overload acceptance demo for the degradation-ladder admission.
+///
+/// Part 1 — session scaling: a fixed shared pool compresses the same wedge
+/// volume split across 1, 2, 4 and 8 sessions.  The multiplexing layer
+/// (per-session staging, DRR scheduler, reorder cursors) should cost little:
+/// wps per row ~flat.
+///
+/// Part 2 — overload demo (the PR's acceptance criteria, measured):
+///  * rung-0 capacity is calibrated first (bcae-int8 through the service);
+///  * one firehose session then offers a sustained 4x that rate, next to
+///    polite sessions at a fraction of capacity, all on the default
+///    bcae-int8 -> zfp ladder;
+///  * the demo FAILS (exit 1) unless: the polite sessions shed nothing and
+///    emit the identity sequence; the firehose degraded (hops counted)
+///    before any shed (shed>0 only with the ladder exhausted); and the
+///    polite stream is bit-exact against a per-session single-pipeline run
+///    (a plain ordered StreamCompressor over the same wedges).
+///
+/// The final stdout line is a single machine-readable JSON document; CI
+/// scrapes it with `grep '^{'` into the BENCH_service.json artifact.
+///
+/// Run:  ./bench_service [--wedges 96] [--batch 4] [--workers 2]
+///                       [--seconds 2] [--overload 4]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bcae/model.hpp"
+#include "codec/service.hpp"
+#include "codec/stream.hpp"
+#include "codec/wedge_codec.hpp"
+#include "tpc/dataset.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using nc::codec::CompressionService;
+using nc::codec::ServiceOptions;
+using nc::codec::SessionOptions;
+using nc::codec::SubmitResult;
+using nc::codec::WedgeEnvelope;
+
+struct SweepPoint {
+  std::size_t sessions = 0;
+  double wall_s = 0.0;
+  double wps = 0.0;
+};
+
+/// Ordered per-session capture: seq -> envelope.
+struct Capture {
+  std::mutex mutex;
+  std::map<std::uint64_t, WedgeEnvelope> out;
+};
+
+bool check(bool ok, const char* what) {
+  if (!ok) std::fprintf(stderr, "ACCEPTANCE FAILURE: %s\n", what);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nc;
+  util::ArgParser args("bench_service",
+                       "compression service: session scaling + overload demo");
+  args.add_option("wedges", "96", "wedges per session-scaling run");
+  args.add_option("batch", "4", "shared pool batch size");
+  args.add_option("workers", "2", "shared pool worker threads");
+  args.add_option("seconds", "2", "overload demo duration");
+  args.add_option("overload", "4", "firehose rate as a multiple of capacity");
+  if (!args.parse(argc, argv)) return 1;
+  const std::int64_t n_wedges = std::max<std::int64_t>(8, args.get_int("wedges"));
+  const std::size_t n_workers =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("workers")));
+  const std::size_t batch =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("batch")));
+  const double demo_s = std::max(0.5, args.get_double("seconds"));
+  const double overload = std::max(1.5, args.get_double("overload"));
+
+  // Tiny deterministic wedges (the bench measures the service layer, not
+  // the codec), one shared model for every BCAE rung in the process.
+  tpc::DatasetConfig cfg;
+  cfg.n_events = 2;
+  cfg.geometry.scale = 0.125;
+  const auto dataset = tpc::WedgeDataset::generate(cfg);
+  std::vector<core::Tensor> wedges;
+  for (const auto& w : dataset.train()) {
+    wedges.push_back(tpc::clip_horizontal(w, dataset.valid_horiz()));
+  }
+  auto model = bcae::make_bcae_ht(81);
+  const auto int8 = codec::make_wedge_codec("bcae-int8", model);
+  const auto zfp = codec::make_wedge_codec("zfp", model);
+  const std::vector<const codec::WedgeCodec*> ladder = {int8.get(), zfp.get()};
+
+  ServiceOptions base;
+  base.pipeline.n_workers = n_workers;
+  base.pipeline.batch_size = batch;
+  base.pipeline.queue_capacity = 32;
+  // Measurement runs (sweep + calibration) use pure blocking backpressure —
+  // admission off so a transiently full staging queue on a one-rung ladder
+  // can't latch shed and distort the numbers.  The demo re-enables it.
+  ServiceOptions measured = base;
+  measured.admission_interval_s = 0.0;
+
+  // --- Part 1: session-scaling sweep (same volume, more sessions) ---------
+  std::printf("session scaling: %lld wedges, %zu worker(s), batch %zu, "
+              "codec %s\n",
+              static_cast<long long>(n_wedges), n_workers, batch,
+              zfp->name().c_str());
+  std::printf("  %-10s %12s %12s\n", "sessions", "wall [s]", "wedges/s");
+  std::vector<SweepPoint> sweep;
+  for (const std::size_t n_sessions : {1u, 2u, 4u, 8u}) {
+    CompressionService service(measured);
+    std::vector<codec::SessionId> ids;
+    for (std::size_t s = 0; s < n_sessions; ++s) {
+      SessionOptions sopt;
+      sopt.ladder = {zfp.get()};  // fast rung only: measures the service
+      ids.push_back(service.open_session(std::move(sopt)));
+    }
+    util::Timer t;
+    for (std::int64_t i = 0; i < n_wedges; ++i) {
+      service.submit(ids[static_cast<std::size_t>(i) % n_sessions],
+                     wedges[static_cast<std::size_t>(i) % wedges.size()]);
+    }
+    for (const auto id : ids) service.close_session(id);
+    const double wall = t.elapsed_s();
+    service.finish();
+    sweep.push_back({n_sessions, wall,
+                     wall > 0 ? static_cast<double>(n_wedges) / wall : 0.0});
+    std::printf("  %-10zu %12.3f %12.1f\n", n_sessions, wall,
+                sweep.back().wps);
+  }
+
+  // --- Part 2a: calibrate rung-0 capacity through the service --------------
+  double capacity_wps = 0.0;
+  {
+    CompressionService service(measured);
+    SessionOptions sopt;
+    sopt.ladder = {int8.get()};
+    const auto id = service.open_session(std::move(sopt));
+    const std::int64_t n_cal = 16;
+    util::Timer t;
+    for (std::int64_t i = 0; i < n_cal; ++i) {
+      service.submit(id, wedges[static_cast<std::size_t>(i) % wedges.size()]);
+    }
+    service.close_session(id);
+    const double wall = t.elapsed_s();
+    service.finish();
+    capacity_wps = wall > 0 ? static_cast<double>(n_cal) / wall : 100.0;
+  }
+  std::printf("\noverload demo: rung-0 (%s) capacity %.1f wedges/s; firehose "
+              "offers %.1fx that for %.1fs, ladder %s -> %s\n",
+              int8->name().c_str(), capacity_wps, overload, demo_s,
+              int8->name().c_str(), zfp->name().c_str());
+
+  // --- Part 2b: the demo ----------------------------------------------------
+  CompressionService service(base);
+
+  // Two polite sessions at 1/8 capacity each; one captures for the
+  // bit-exactness check.
+  const int kPolite = 2;
+  const std::int64_t polite_wedges = 24;
+  const double polite_interval_s =
+      std::min(0.05, 8.0 / std::max(1.0, capacity_wps));
+  Capture polite_capture;
+  std::vector<codec::SessionId> polite_ids;
+  for (int p = 0; p < kPolite; ++p) {
+    SessionOptions sopt;
+    sopt.ladder = ladder;
+    sopt.queue_capacity = 32;
+    if (p == 0) {
+      sopt.sink = [&](std::uint64_t seq, WedgeEnvelope&& env) {
+        std::lock_guard<std::mutex> lock(polite_capture.mutex);
+        polite_capture.out.emplace(seq, std::move(env));
+      };
+    }
+    polite_ids.push_back(service.open_session(std::move(sopt)));
+  }
+  SessionOptions fire_opt;
+  fire_opt.ladder = ladder;
+  fire_opt.queue_capacity = 32;
+  std::mutex fire_mutex;
+  std::vector<std::uint64_t> fire_seqs;
+  fire_opt.sink = [&](std::uint64_t seq, WedgeEnvelope&&) {
+    std::lock_guard<std::mutex> lock(fire_mutex);
+    fire_seqs.push_back(seq);
+  };
+  const auto fire_id = service.open_session(std::move(fire_opt));
+
+  std::atomic<std::int64_t> fire_offered{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kPolite; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::int64_t i = 0; i < polite_wedges; ++i) {
+        service.submit(polite_ids[static_cast<std::size_t>(p)],
+                       wedges[static_cast<std::size_t>(i) % wedges.size()]);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(polite_interval_s));
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    const auto interval = std::chrono::duration<double>(
+        1.0 / std::max(1.0, overload * capacity_wps));
+    const auto t_end = std::chrono::steady_clock::now() +
+                       std::chrono::duration<double>(demo_s);
+    std::size_t next = 0;
+    while (std::chrono::steady_clock::now() < t_end) {
+      (void)service.try_submit(fire_id, wedges[next]);
+      fire_offered.fetch_add(1, std::memory_order_relaxed);
+      next = (next + 1) % wedges.size();
+      std::this_thread::sleep_for(interval);
+    }
+  });
+  for (auto& t : threads) t.join();
+
+  std::vector<codec::SessionStats> polite_stats;
+  for (const auto id : polite_ids) {
+    polite_stats.push_back(service.close_session(id));
+  }
+  const auto fire_stats = service.close_session(fire_id);
+  const auto totals = service.finish();
+
+  // --- Part 2c: acceptance checks ------------------------------------------
+  bool ok = true;
+  for (const auto& ps : polite_stats) {
+    ok &= check(ps.shed == 0, "a polite session shed wedges");
+    ok &= check(ps.compressed == polite_wedges,
+                "a polite session lost wedges");
+  }
+  ok &= check(fire_stats.degradations >= 1,
+              "sustained overload never tripped the ladder");
+  if (fire_stats.shed > 0) {
+    ok &= check(fire_stats.rung == ladder.size() - 1,
+                "firehose shed while a cheaper rung was still available");
+  }
+  {
+    std::lock_guard<std::mutex> lock(fire_mutex);
+    ok &= check(std::is_sorted(fire_seqs.begin(), fire_seqs.end()) &&
+                    std::adjacent_find(fire_seqs.begin(), fire_seqs.end()) ==
+                        fire_seqs.end(),
+                "firehose emission out of order or duplicated");
+  }
+
+  // Bit-exactness: the captured polite session against a per-session
+  // single-pipeline run (ordered StreamCompressor, same codec, same wedges).
+  std::map<std::uint64_t, WedgeEnvelope> reference;
+  {
+    codec::StreamOptions sopt;
+    sopt.n_workers = n_workers;
+    sopt.batch_size = batch;
+    sopt.queue_capacity = 32;
+    sopt.ordered = true;
+    std::mutex ref_mutex;
+    codec::StreamCompressor control(
+        *int8, sopt, [&](std::uint64_t seq, WedgeEnvelope&& env) {
+          std::lock_guard<std::mutex> lock(ref_mutex);
+          reference.emplace(seq, std::move(env));
+        });
+    for (std::int64_t i = 0; i < polite_wedges; ++i) {
+      control.submit(wedges[static_cast<std::size_t>(i) % wedges.size()]);
+    }
+    control.finish();
+  }
+  {
+    std::lock_guard<std::mutex> lock(polite_capture.mutex);
+    ok &= check(polite_capture.out.size() == reference.size(),
+                "captured polite session size != single-pipeline reference");
+    std::uint64_t expect_seq = 0;
+    for (const auto& [seq, env] : polite_capture.out) {
+      ok &= check(seq == expect_seq++, "polite emission has gaps");
+      const auto ref = reference.find(seq);
+      if (ref == reference.end()) continue;
+      ok &= check(env.codec_id == ref->second.codec_id &&
+                      env.payload == ref->second.payload,
+                  "polite bitstream diverged from single-pipeline run");
+    }
+  }
+
+  std::printf("  firehose: %lld offered, %lld submitted, %lld compressed, "
+              "%lld shed, %lld degradation(s)\n",
+              static_cast<long long>(fire_offered.load()),
+              static_cast<long long>(fire_stats.submitted),
+              static_cast<long long>(fire_stats.compressed),
+              static_cast<long long>(fire_stats.shed),
+              static_cast<long long>(fire_stats.degradations));
+  std::printf("  polite:   %d session(s), shed %lld, bit-exact %s\n", kPolite,
+              static_cast<long long>(polite_stats[0].shed +
+                                     polite_stats[1].shed),
+              ok ? "yes" : "NO");
+  std::printf("  verdict:  %s\n", ok ? "PASS" : "FAIL");
+
+  // Machine-readable trailer (single line, greppable with '^{').
+  std::string sweep_json = "[";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"sessions\":%zu,\"wall_s\":%.4f,\"wps\":%.2f}",
+                  i ? "," : "", sweep[i].sessions, sweep[i].wall_s,
+                  sweep[i].wps);
+    sweep_json += buf;
+  }
+  sweep_json += "]";
+  std::printf("\n{\"bench\":\"service\",\"wedges\":%lld,\"workers\":%zu,"
+              "\"batch\":%zu,\"sweep\":%s,"
+              "\"overload\":{\"capacity_wps\":%.2f,\"overload_factor\":%.1f,"
+              "\"fire_submitted\":%lld,\"fire_compressed\":%lld,"
+              "\"fire_shed\":%lld,\"fire_degradations\":%lld,"
+              "\"polite_shed\":%lld,\"scheduled\":%lld,"
+              "\"accepted\":%s}}\n",
+              static_cast<long long>(n_wedges), n_workers, batch,
+              sweep_json.c_str(), capacity_wps, overload,
+              static_cast<long long>(fire_stats.submitted),
+              static_cast<long long>(fire_stats.compressed),
+              static_cast<long long>(fire_stats.shed),
+              static_cast<long long>(fire_stats.degradations),
+              static_cast<long long>(polite_stats[0].shed +
+                                     polite_stats[1].shed),
+              static_cast<long long>(totals.wedges_scheduled),
+              ok ? "true" : "false");
+  return ok ? 0 : 1;
+}

@@ -249,6 +249,58 @@ int main(int argc, char** argv) {
   if (!args.parse(argc, argv)) return 1;
   const bool roundtrip = args.get_bool("roundtrip");
 
+  // Validate the pipeline shape up front (before the expensive dataset
+  // staging) and reject misconfiguration loudly — a silently clamped flag
+  // means the run measures a different pipeline than the one asked for.
+  const std::int64_t batch_flag = args.get_int("batch");
+  if (batch_flag <= 0) {
+    std::fprintf(stderr, "error: --batch must be positive (got %lld)\n",
+                 static_cast<long long>(batch_flag));
+    return 1;
+  }
+  const std::int64_t queue_flag = args.get_int("queue");
+  if (queue_flag <= 0) {
+    std::fprintf(stderr, "error: --queue must be positive (got %lld)\n",
+                 static_cast<long long>(queue_flag));
+    return 1;
+  }
+  const std::int64_t workers_flag = args.get_int("workers");
+  if (workers_flag < 0) {
+    std::fprintf(stderr,
+                 "error: --workers must be >= 0 (0 = elastic; got %lld)\n",
+                 static_cast<long long>(workers_flag));
+    return 1;
+  }
+  const std::int64_t min_workers_flag = args.get_int("min-workers");
+  const std::int64_t max_workers_flag = args.get_int("max-workers");
+  if (workers_flag == 0) {
+    if (min_workers_flag <= 0) {
+      std::fprintf(stderr, "error: --min-workers must be positive (got %lld)\n",
+                   static_cast<long long>(min_workers_flag));
+      return 1;
+    }
+    // An explicit ceiling of 0 with an elastic pool is a pool with no
+    // workers, not "use the default" — refuse rather than guess.
+    if (max_workers_flag <= 0 && args.was_set("max-workers")) {
+      std::fprintf(stderr,
+                   "error: --workers 0 (elastic) needs a positive "
+                   "--max-workers (got %lld)\n",
+                   static_cast<long long>(max_workers_flag));
+      return 1;
+    }
+    const std::int64_t ceiling =
+        max_workers_flag > 0
+            ? max_workers_flag
+            : static_cast<std::int64_t>(util::hardware_threads());
+    if (min_workers_flag > ceiling) {
+      std::fprintf(stderr,
+                   "error: --min-workers %lld exceeds --max-workers %lld\n",
+                   static_cast<long long>(min_workers_flag),
+                   static_cast<long long>(ceiling));
+      return 1;
+    }
+  }
+
   // Stage the detector data (in a real DAQ these arrive over fibre).
   tpc::DatasetConfig cfg;
   cfg.n_events = 4;
@@ -287,27 +339,21 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // Clamp before the size_t casts: a negative flag value must not wrap into
-  // an astronomically large queue or worker count.
+  // Flags were validated above, so the size_t casts are safe.
   codec::StreamOptions options;
-  options.queue_capacity =
-      static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("queue")));
-  options.batch_size =
-      static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("batch")));
-  const std::int64_t workers_flag = args.get_int("workers");
+  options.queue_capacity = static_cast<std::size_t>(queue_flag);
+  options.batch_size = static_cast<std::size_t>(batch_flag);
   if (workers_flag == 0) {
     // Elastic mode: start at the floor, let the controller grow the live
     // set toward the ceiling as the offered rate demands.
     options.elastic = true;
-    options.min_workers = static_cast<std::size_t>(
-        std::max<std::int64_t>(1, args.get_int("min-workers")));
-    const std::int64_t max_flag = args.get_int("max-workers");
-    options.max_workers = max_flag > 0 ? static_cast<std::size_t>(max_flag)
-                                       : util::hardware_threads();
+    options.min_workers = static_cast<std::size_t>(min_workers_flag);
+    options.max_workers = max_workers_flag > 0
+                              ? static_cast<std::size_t>(max_workers_flag)
+                              : util::hardware_threads();
     options.n_workers = options.min_workers;
   } else {
-    options.n_workers =
-        static_cast<std::size_t>(std::max<std::int64_t>(1, workers_flag));
+    options.n_workers = static_cast<std::size_t>(workers_flag);
   }
   // Pinning defaults on in elastic mode (the topology-aware deployment the
   // mode exists for); --pin forces it for static pools, --no-pin wins.

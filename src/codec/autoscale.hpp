@@ -81,10 +81,19 @@ class AutoscaleController {
   /// Feed one tick of observed load; returns the (possibly unchanged)
   /// live-worker target.  Pure: same sample sequence, same targets.
   std::size_t observe(const AutoscaleSample& sample) {
-    if (sample.spilling && target_ < cfg_.max_workers) {
-      // Emergency path: items are already landing on disk, so the gradual
-      // ramp (and any cooldown hold) has demonstrably lost the race.
-      decide(cfg_.max_workers, "spill");
+    if (sample.spilling) {
+      if (target_ < cfg_.max_workers) {
+        // Emergency path: items are already landing on disk, so the gradual
+        // ramp (and any cooldown hold) has demonstrably lost the race.
+        decide(cfg_.max_workers, "spill");
+        return target_;
+      }
+      // Already at the ceiling: no decision to make, but refresh the hold —
+      // spilling ticks must not burn the cooldown, or a transient spill
+      // could step back down ("quiet") the instant the backlog drains and
+      // thrash up/down within one scale interval.
+      cooldown_ = cfg_.cooldown;
+      reset_window();
       return target_;
     }
     if (cooldown_ > 0) {

@@ -13,7 +13,8 @@ namespace nc::codec {
 
 namespace {
 constexpr char kSpillKind[4] = {'S', 'P', 'I', 'L'};
-constexpr std::uint64_t kSegmentHeaderBytes = 12;  // "NCMP" "SPIL" u32 version
+// "NCMP" "SPIL" u32 version u32 codec_id
+constexpr std::uint64_t kSegmentHeaderBytes = 16;
 constexpr std::uint64_t kRecordOverheadBytes = 16 + 4;  // header + crc
 // Spilled wedges are at most a few MB each; the cap — checked BEFORE the
 // payload allocation — keeps a corrupt length field from driving a giant
@@ -88,6 +89,7 @@ void SpillLog::roll_segment_locked() {
     throw util::SerializeError("cannot open spill segment: " + seg.path);
   }
   util::write_magic(out_, kSpillKind, kFormatVersion);
+  util::write_u32(out_, options_.codec_id);
   out_.flush();
   if (!out_) {
     out_.close();
@@ -251,22 +253,34 @@ void SpillLog::close() {
   }
 }
 
-std::uint32_t read_spill_segment_header(std::istream& is) {
-  const std::uint32_t version = util::read_magic(is, kSpillKind);
-  if (version != SpillLog::kFormatVersion) {
+SpillSegmentHeader read_spill_segment_header(std::istream& is) {
+  SpillSegmentHeader hdr;
+  hdr.version = util::read_magic(is, kSpillKind);
+  if (hdr.version != SpillLog::kFormatVersion) {
     throw util::SerializeError(
-        "unsupported spill segment version " + std::to_string(version) +
+        "unsupported spill segment version " + std::to_string(hdr.version) +
         " (expected " + std::to_string(SpillLog::kFormatVersion) + ")");
   }
-  return version;
+  hdr.codec_id = util::read_u32(is);
+  return hdr;
 }
 
-SpillReader::SpillReader(const std::string& path)
+SpillReader::SpillReader(const std::string& path,
+                         std::uint32_t expected_codec_id)
     : in_(path, std::ios::binary), path_(path) {
   if (!in_) {
     throw util::SerializeError("cannot open spill segment: " + path);
   }
-  read_spill_segment_header(in_);
+  header_ = read_spill_segment_header(in_);
+  // Untagged on either side (pre-tagging writer, or a reader that does not
+  // care) skips the gate; two non-zero ids must agree.
+  if (header_.codec_id != 0 && expected_codec_id != 0 &&
+      header_.codec_id != expected_codec_id) {
+    throw util::SerializeError(
+        "spill segment '" + path + "' was written under codec id " +
+        std::to_string(header_.codec_id) + " but replay expects codec id " +
+        std::to_string(expected_codec_id));
+  }
 }
 
 bool SpillReader::next(SpillRecord& out) {

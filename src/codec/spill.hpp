@@ -12,8 +12,15 @@
 ///
 /// On-disk format (version-gated like checkpoints, see util/serialize.hpp):
 ///
-///   segment   := magic("NCMP" "SPIL", u32 version) record*
+///   segment   := magic("NCMP" "SPIL", u32 version) u32 codec_id record*
 ///   record    := u64 seq | u64 payload_len | payload bytes | u32 crc32
+///
+/// v2 added the codec_id header field: the wedge codec the spilling
+/// pipeline was configured with (WedgeCodec wire id; 0 = untagged).  A
+/// keep-mode log written under one codec and replayed under another used to
+/// feed foreign payloads to the decoder and fail per-wedge downstream;
+/// SpillReader now rejects the mismatch at open, before a single payload is
+/// decoded.
 ///
 /// The CRC covers the 16-byte little-endian (seq, payload_len) header plus
 /// the payload, so a flipped bit anywhere in a record — header or body —
@@ -65,6 +72,10 @@ struct SpillOptions {
   /// Keep fully-replayed segments on disk (audit / replay-after-close)
   /// instead of deleting them as they drain.
   bool keep = false;
+  /// Codec id stamped into every segment header (0 = untagged): identifies
+  /// the wedge codec whose pipeline wrote this log, so replay under a
+  /// different codec is rejected at open instead of per-wedge downstream.
+  std::uint32_t codec_id = 0;
 };
 
 /// One logical spill record: the wedge's pipeline sequence number and its
@@ -79,16 +90,22 @@ struct SpillRecord {
 /// length, or a CRC mismatch.
 SpillRecord read_spill_record(std::istream& is);
 
-/// Validate a segment's magic + version header and return the version.
-/// Throws util::SerializeError on a bad magic or an unsupported version.
-/// Shared by SpillReader and the fuzz harness so in-memory fuzzing drives
-/// exactly the file-open code path.
-std::uint32_t read_spill_segment_header(std::istream& is);
+/// Parsed segment header fields (everything after the magic).
+struct SpillSegmentHeader {
+  std::uint32_t version = 0;
+  std::uint32_t codec_id = 0;  ///< writing pipeline's wedge codec (0 = untagged)
+};
+
+/// Validate a segment's magic + version header and return the parsed
+/// fields.  Throws util::SerializeError on a bad magic, an unsupported
+/// version, or truncation.  Shared by SpillReader and the fuzz harness so
+/// in-memory fuzzing drives exactly the file-open code path.
+SpillSegmentHeader read_spill_segment_header(std::istream& is);
 
 /// Disk-backed FIFO of spill records (see file comment).
 class SpillLog {
  public:
-  static constexpr std::uint32_t kFormatVersion = 1;
+  static constexpr std::uint32_t kFormatVersion = 2;  ///< v2: codec_id header
 
   /// Creates `options.dir` if missing; throws util::SerializeError when the
   /// directory cannot be created or written.
@@ -163,13 +180,22 @@ class SpillLog {
 /// end of file.
 class SpillReader {
  public:
-  explicit SpillReader(const std::string& path);
+  /// Opens and validates the segment.  When `expected_codec_id` is non-zero
+  /// and the segment is tagged (header codec_id non-zero), a mismatch
+  /// throws util::SerializeError — replaying one codec's payloads into
+  /// another's decoder fails here, at open, not per-wedge downstream.
+  explicit SpillReader(const std::string& path,
+                       std::uint32_t expected_codec_id = 0);
 
   bool next(SpillRecord& out);
+
+  /// The validated segment header (codec id etc.).
+  const SpillSegmentHeader& header() const { return header_; }
 
  private:
   std::ifstream in_;
   std::string path_;
+  SpillSegmentHeader header_;
 };
 
 }  // namespace nc::codec

@@ -86,11 +86,18 @@ std::int64_t decoded_bytes(const core::Tensor& wedge) {
   return wedge.numel() * 2;
 }
 
+// Stamp the codec's wire id into the pipeline options so every spill
+// segment this stream writes is tagged with the codec it was running.
+StreamOptions stamped(StreamOptions options, const WedgeCodec& codec) {
+  options.spill_codec_id = codec.codec_id();
+  return options;
+}
+
 }  // namespace
 
 StreamCompressor::StreamCompressor(const WedgeCodec& codec,
                                    const StreamOptions& options, SeqSink sink)
-    : pipeline_(options, compress_fn(codec),
+    : pipeline_(stamped(options, codec), compress_fn(codec),
                 [](const WedgeEnvelope& env) { return env.payload_bytes(); },
                 std::move(sink), {encode_wedge_spill, decode_wedge_spill}) {}
 
@@ -121,8 +128,24 @@ StreamCompressor::StreamCompressor(const WedgeCodec& codec,
 StreamDecompressor::StreamDecompressor(const WedgeCodec& codec,
                                        const StreamOptions& options,
                                        SeqSink sink)
-    : pipeline_(options, decompress_fn(codec), decoded_bytes, std::move(sink),
-                {encode_envelope_spill, decode_envelope_spill}) {}
+    : pipeline_(stamped(options, codec), decompress_fn(codec), decoded_bytes,
+                std::move(sink),
+                {encode_envelope_spill,
+                 // Replay gate: a spilled envelope that names a different
+                 // codec than this stream decodes with is rejected here
+                 // (counted as failed with its seq) instead of handing a
+                 // foreign payload to the decoder.
+                 [id = codec.codec_id()](const std::string& bytes) {
+                   WedgeEnvelope env = decode_envelope_spill(bytes);
+                   if (env.codec_id != id) {
+                     throw util::SerializeError(
+                         "spilled envelope codec id " +
+                         std::to_string(env.codec_id) +
+                         " does not match stream codec id " +
+                         std::to_string(id));
+                   }
+                   return env;
+                 }}) {}
 
 StreamDecompressor::StreamDecompressor(const WedgeCodec& codec,
                                        const StreamOptions& options, Sink sink)

@@ -153,6 +153,11 @@ struct StreamOptions {
   /// Keep fully-replayed spill segments on disk after finish() (audit /
   /// replay-after-close via SpillReader) instead of deleting as they drain.
   bool spill_keep = false;
+  /// Codec id stamped into each spill segment header (0 = untagged) so a
+  /// kept log replayed under a different codec is rejected at open instead
+  /// of failing per-wedge downstream.  StreamCompressor/StreamDecompressor
+  /// fill this from their codec automatically.
+  std::uint32_t spill_codec_id = 0;
 
   // --- Elastic, topology-aware pool (autoscale.hpp / util/topology.hpp) ---
   /// Autoscale the live worker count in [min_workers, max_workers] from
@@ -324,6 +329,7 @@ class StreamPipeline {
       sopt.dir = options_.spill_dir;
       sopt.max_bytes = options_.spill_max_bytes;
       sopt.keep = options_.spill_keep;
+      sopt.codec_id = options_.spill_codec_id;
       spill_ = std::make_unique<SpillLog>(sopt);
       spill_low_water_ =
           options_.spill_low_water != 0
@@ -337,14 +343,13 @@ class StreamPipeline {
     if (options_.pin_workers) {
       const util::Topology& topo = util::system_topology();
       if (topo.affinity_supported && !topo.cpus.empty()) {
-        // Node-major round-robin: worker slot w -> topo.cpus[w % n].  The
-        // always-live low-index workers land on one node first, so a mostly
-        // scaled-down elastic pool stays NUMA-compact.
-        placement_.reserve(options_.max_workers);
-        for (std::size_t w = 0; w < options_.max_workers; ++w) {
-          placement_.push_back(topo.cpus[w % topo.cpus.size()]);
-        }
-        if (sharded_) {
+        // Claim a process-wide contiguous run of core slots (node-major):
+        // the always-live low-index workers land on one node first, so a
+        // mostly scaled-down elastic pool stays NUMA-compact, and two
+        // pipelines built in one process get disjoint cores instead of both
+        // pinning worker 0 to cpu 0.
+        placement_ = util::claim_cpu_slots(options_.max_workers);
+        if (sharded_ && !placement_.empty()) {
           // Home each shard on its owner slot's node so kDeepest steals can
           // prefer same-node shards.
           std::vector<int> nodes(options_.n_shards);
@@ -555,6 +560,23 @@ class StreamPipeline {
   /// Per-worker-slot core placement when pinning is active; empty when
   /// pin_workers is off, affinity is unsupported, or NC_TOPOLOGY=off.
   const std::vector<util::CpuInfo>& placement() const { return placement_; }
+
+  // --- Live load observability (lock-free monitoring; values are instant
+  // snapshots and may be stale by one operation) ------------------------
+  /// Wedges diverted to the spill tier so far.
+  std::int64_t wedges_spilled() const {
+    return wedges_spilled_.load(std::memory_order_relaxed);
+  }
+  /// Spilled records written but not yet replayed (0 without a spill tier).
+  std::size_t spill_pending() const { return spill_ ? spill_->pending() : 0; }
+  /// Bytes currently held in spill segment files (0 without a spill tier).
+  std::size_t spill_bytes_on_disk() const {
+    return spill_ ? spill_->bytes_on_disk() : 0;
+  }
+  /// Items queued at the intake right now.
+  std::size_t intake_depth() const { return intake_->size(); }
+  /// The intake's effective capacity (sharding may round it up).
+  std::size_t intake_capacity() const { return intake_->capacity(); }
 
  private:
   /// A queued item tagged with its FIFO sequence number.

@@ -34,6 +34,13 @@ class ArgParser {
   double get_double(const std::string& name) const;
   bool get_bool(const std::string& name) const;
 
+  /// True when the option appeared explicitly on the command line (defaults
+  /// are resolved in get(), so values_ holds only parsed flags).  Lets
+  /// validation distinguish "--max-workers 0" from the 0 default.
+  bool was_set(const std::string& name) const {
+    return values_.count(name) != 0;
+  }
+
   /// Positional arguments left after flag parsing.
   const std::vector<std::string>& positional() const { return positional_; }
 

@@ -8,6 +8,7 @@
 #include "util/topology.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cstdlib>
 #include <filesystem>
@@ -161,6 +162,21 @@ Topology detect_topology(const std::vector<int>& allowed,
 const Topology& system_topology() {
   static const Topology topo = detect_system_topology();
   return topo;
+}
+
+std::vector<CpuInfo> claim_cpu_slots(std::size_t n) {
+  const Topology& topo = system_topology();
+  if (!topo.affinity_supported || topo.cpus.empty() || n == 0) return {};
+  // One fetch_add claims the whole contiguous run, so concurrent claimers
+  // can interleave pipelines but never a single pipeline's slots.
+  static std::atomic<std::size_t> cursor{0};
+  const std::size_t base = cursor.fetch_add(n, std::memory_order_relaxed);
+  std::vector<CpuInfo> slots;
+  slots.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    slots.push_back(topo.cpus[(base + i) % topo.cpus.size()]);
+  }
+  return slots;
 }
 
 bool pin_current_thread(int cpu) {

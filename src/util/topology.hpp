@@ -69,6 +69,14 @@ Topology detect_topology(const std::vector<int>& allowed_cpus,
 /// `NC_TOPOLOGY=off`.
 const Topology& system_topology();
 
+/// Claim `n` consecutive worker-slot placements from a process-wide cursor
+/// over `system_topology().cpus` (node-major, wrapping).  Two pipelines
+/// built in one process get disjoint cores until the claimed total exceeds
+/// the CPU count — without this, every pool independently starts at slot 0
+/// and double-books the low cores.  Thread-safe; returns an empty vector
+/// when affinity is unsupported or disabled (callers then run unpinned).
+std::vector<CpuInfo> claim_cpu_slots(std::size_t n);
+
 /// Pin the calling thread to one CPU.  Returns false — leaving the thread's
 /// affinity untouched — when pinning is unsupported, disabled via
 /// `NC_TOPOLOGY=off`, or the syscall fails (e.g. the CPU left the cpuset);

@@ -1,0 +1,173 @@
+/// \file test_admission.cpp
+/// \brief Deterministic unit tests for the service's per-session admission
+///        policy (degrade down the codec ladder first, shed last).
+///
+/// AdmissionController is a pure sample-in / decision-out state machine (no
+/// clocks, no threads), so every test drives it with an injected sample
+/// sequence and asserts the exact decision trace — window averaging,
+/// cooldown hysteresis, the spill emergency path, shed latching and rung
+/// recovery — with zero sleeps.  The impure service driver around it is
+/// covered by test_service.cpp.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "codec/admission.hpp"
+
+namespace {
+
+using nc::codec::AdmissionConfig;
+using nc::codec::AdmissionController;
+using nc::codec::AdmissionDecision;
+using nc::codec::AdmissionSample;
+
+AdmissionConfig config(std::size_t window, std::size_t cooldown) {
+  AdmissionConfig cfg;
+  cfg.window = window;
+  cfg.cooldown = cooldown;
+  return cfg;  // depth thresholds keep their defaults
+}
+
+/// A deep staging queue with `left` ladder rungs still below the current
+/// codec and `used` already descended.
+AdmissionSample deep(std::size_t left, std::size_t used = 0) {
+  return {1.0, false, left, used};
+}
+AdmissionSample quiet(std::size_t left, std::size_t used = 0) {
+  return {0.0, false, left, used};
+}
+AdmissionSample spilling_deep(std::size_t left) { return {1.0, true, left, 0}; }
+
+TEST(Admission, HoldsUntilWindowFills) {
+  AdmissionController ctl(config(4, 0));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(ctl.observe(deep(1)), AdmissionDecision::kHold) << "tick " << i;
+  }
+  EXPECT_EQ(ctl.observe(deep(1)), AdmissionDecision::kDegrade)
+      << "fourth sample completes the window";
+}
+
+TEST(Admission, CooldownDiscardsSamplesAfterADecision) {
+  AdmissionController ctl(config(1, 3));
+  EXPECT_EQ(ctl.observe(deep(2)), AdmissionDecision::kDegrade);
+  // Three held ticks, then a fresh one-sample window decides again.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(ctl.observe(deep(1)), AdmissionDecision::kHold) << "hold " << i;
+  }
+  EXPECT_EQ(ctl.observe(deep(1)), AdmissionDecision::kDegrade);
+}
+
+TEST(Admission, ShedOnlyWithLadderExhausted) {
+  // Depth 1.0 clears both degrade_depth and shed_depth; with a rung left
+  // the decision must be kDegrade, never kShed.
+  AdmissionController ctl(config(1, 0));
+  EXPECT_EQ(ctl.observe(deep(1)), AdmissionDecision::kDegrade);
+  EXPECT_EQ(ctl.observe(deep(0)), AdmissionDecision::kShed)
+      << "only the exhausted ladder may shed";
+  EXPECT_TRUE(ctl.shedding());
+}
+
+TEST(Admission, MidBandDepthNeverSheds) {
+  // Between degrade_depth and shed_depth with no rungs left: hold (spill
+  // still bounded by the pipeline tier), don't drop.
+  AdmissionConfig cfg = config(1, 0);
+  AdmissionController ctl(cfg);
+  AdmissionSample s{0.8, false, 0, 1};  // 0.75 <= 0.8 < 0.95
+  EXPECT_EQ(ctl.observe(s), AdmissionDecision::kHold);
+}
+
+TEST(Admission, SpillEmergencyBypassesWindowAndCooldown) {
+  // A giant window and cooldown must not delay the emergency hop when the
+  // shared tier is already writing to disk and this session is deep.
+  AdmissionController ctl(config(64, 64));
+  EXPECT_EQ(ctl.observe(spilling_deep(1)), AdmissionDecision::kDegrade);
+  // ...and the emergency decision still starts a cooldown: the next
+  // spilling sample with a rung left fires again only because the
+  // emergency path deliberately pierces it.
+  EXPECT_EQ(ctl.observe(deep(1)), AdmissionDecision::kHold);
+}
+
+TEST(Admission, SpillEmergencyNeedsDepthAndARung) {
+  AdmissionController ctl(config(64, 0));
+  // Spilling but this session is shallow: someone else's firehose, hold.
+  EXPECT_EQ(ctl.observe({0.1, true, 1, 0}), AdmissionDecision::kHold);
+  // Spilling and deep but the ladder is exhausted: no emergency hop
+  // (shedding stays a windowed decision).
+  EXPECT_EQ(ctl.observe(spilling_deep(0)), AdmissionDecision::kHold);
+}
+
+TEST(Admission, ShedLatchesUntilDepthRecovers) {
+  AdmissionController ctl(config(1, 0));
+  EXPECT_EQ(ctl.observe(deep(0)), AdmissionDecision::kShed);
+  EXPECT_TRUE(ctl.shedding());
+  // Still deep: stay latched (kHold, not another kShed).
+  EXPECT_EQ(ctl.observe(deep(0)), AdmissionDecision::kHold);
+  EXPECT_TRUE(ctl.shedding());
+  // Depth at/below recover_depth: release.
+  EXPECT_EQ(ctl.observe(quiet(0)), AdmissionDecision::kStopShed);
+  EXPECT_FALSE(ctl.shedding());
+}
+
+TEST(Admission, RecoveryClimbsAfterConsecutiveQuietWindows) {
+  AdmissionConfig cfg = config(1, 0);
+  cfg.recover_window = 3;
+  AdmissionController ctl(cfg);
+  // Two quiet windows, interrupted, then three straight: only the straight
+  // run recovers.
+  EXPECT_EQ(ctl.observe(quiet(1, 1)), AdmissionDecision::kHold);
+  EXPECT_EQ(ctl.observe(quiet(1, 1)), AdmissionDecision::kHold);
+  EXPECT_EQ(ctl.observe({0.5, false, 1, 1}), AdmissionDecision::kHold);
+  EXPECT_EQ(ctl.observe(quiet(1, 1)), AdmissionDecision::kHold);
+  EXPECT_EQ(ctl.observe(quiet(1, 1)), AdmissionDecision::kHold);
+  EXPECT_EQ(ctl.observe(quiet(1, 1)), AdmissionDecision::kRecover);
+}
+
+TEST(Admission, NoRecoveryAtRungZeroOrWhenDisabled) {
+  {
+    AdmissionConfig cfg = config(1, 0);
+    cfg.recover_window = 1;
+    AdmissionController ctl(cfg);
+    // rungs_used == 0: already on the preferred codec, nothing to climb.
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(ctl.observe(quiet(1, 0)), AdmissionDecision::kHold);
+    }
+  }
+  {
+    // recover_window == 0 (the default): degradations stick.
+    AdmissionController ctl(config(1, 0));
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(ctl.observe(quiet(1, 1)), AdmissionDecision::kHold);
+    }
+  }
+}
+
+TEST(Admission, NormalizesDegenerateConfig) {
+  AdmissionConfig cfg;
+  cfg.window = 0;        // -> 1 (decision every sample)
+  cfg.degrade_depth = 0.9;
+  cfg.shed_depth = 0.5;  // below degrade: clamped up to 0.9
+  AdmissionController ctl(cfg);
+  EXPECT_EQ(ctl.config().window, 1u);
+  EXPECT_DOUBLE_EQ(ctl.config().shed_depth, 0.9);
+}
+
+TEST(Admission, DeterministicAcrossRuns) {
+  const std::vector<AdmissionSample> trace = {
+      deep(2),         quiet(2),    deep(2, 0), spilling_deep(1),
+      deep(1, 1),      quiet(1, 1), deep(0, 2), deep(0, 2),
+      quiet(0, 2),     quiet(0, 2), deep(2),    spilling_deep(0),
+      {0.5, false, 1, 1},
+  };
+  const auto run = [&] {
+    AdmissionConfig cfg = config(2, 1);
+    cfg.recover_window = 1;
+    AdmissionController ctl(cfg);
+    std::vector<AdmissionDecision> decisions;
+    for (const auto& s : trace) decisions.push_back(ctl.observe(s));
+    return decisions;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace

@@ -90,6 +90,44 @@ TEST(Autoscale, SpillAtCeilingChangesNothing) {
   EXPECT_STREQ(ctl.last_reason(), "") << "no decision was made";
 }
 
+TEST(Autoscale, SpillJumpLeavesCooldownBehind) {
+  // The emergency jump bypasses the cooldown on the way UP, but must leave
+  // one behind: without it, the very next idle window would step straight
+  // back down and a transient spill thrashes 1 -> max -> max-1 within a few
+  // ticks.  window 1 makes every post-hold sample a decision point.
+  AutoscaleController ctl(config(1, 4, 1, 3), 1);
+  EXPECT_EQ(ctl.observe(spilling()), 4u);
+  EXPECT_STREQ(ctl.last_reason(), "spill");
+  EXPECT_EQ(ctl.observe(idle()), 4u);  // cooldown 3
+  EXPECT_EQ(ctl.observe(idle()), 4u);  // cooldown 2
+  EXPECT_EQ(ctl.observe(idle()), 4u);  // cooldown 1
+  EXPECT_EQ(ctl.observe(idle()), 3u);  // hold expired: normal step-down
+}
+
+TEST(Autoscale, SustainedSpillAtCeilingRefreshesCooldown) {
+  // Spilling ticks at the ceiling used to fall into the cooldown decrement:
+  // a long spill burned the hold sample by sample, so the first quiet tick
+  // after the backlog drained stepped down immediately — the thrash the
+  // cooldown exists to prevent.  They must refresh the hold instead: after
+  // ANY spill run, a full cooldown + window of quiet evidence is required
+  // before stepping down.
+  AutoscaleConfig cfg = config(1, 4, 4, 4);
+  AutoscaleController ctl(cfg, 1);
+  EXPECT_EQ(ctl.observe(spilling()), 4u);  // jump to ceiling
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(ctl.observe(spilling()), 4u) << "spill tick " << i;
+  }
+  // Quiet ticks 1..4 burn the (refreshed) cooldown, 5..8 fill the window.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(ctl.observe(idle()), 4u) << "cooldown tick " << i;
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(ctl.observe(idle()), 4u) << "window tick " << i;
+  }
+  EXPECT_EQ(ctl.observe(idle()), 3u) << "full quiet window: step down once";
+  EXPECT_STREQ(ctl.last_reason(), "quiet");
+}
+
 TEST(Autoscale, QuietStepsDownOneAtATimeToFloor) {
   AutoscaleController ctl(config(2, 8, 2, 0), 5);
   EXPECT_EQ(ctl.observe(idle()), 5u);

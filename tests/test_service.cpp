@@ -1,0 +1,486 @@
+/// \file test_service.cpp
+/// \brief The multi-stream compression service: session multiplexing over
+///        one shared pipeline, per-session ordered emission, DRR fairness,
+///        and degradation-ladder admission.
+///
+/// Determinism strategy: admission runs in manual mode (admission_interval_s
+/// = 0, driven by admission_tick()), and overload is created with a *gated*
+/// codec that blocks the shared pool's single worker on a latch — so staging
+/// backs up for certain, not probabilistically.  The scheduler drains
+/// staging concurrently with the fill loops, so overload tests use a
+/// fill-then-tick loop (refill, tick, check) instead of assuming one fill
+/// leaves the queue exactly full.  The concurrency tests at the bottom
+/// (finish / close_session racing in-flight submits) run under TSan in CI
+/// via the suite's `tsan` label.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "bcae/model.hpp"
+#include "codec/service.hpp"
+#include "codec/wedge_codec.hpp"
+#include "tests/stream_test_utils.hpp"
+
+namespace {
+
+using nc::codec::CompressionService;
+using nc::codec::ServiceOptions;
+using nc::codec::SessionId;
+using nc::codec::SessionOptions;
+using nc::codec::SubmitResult;
+using nc::codec::WedgeCodec;
+using nc::codec::WedgeEnvelope;
+using nc::core::Tensor;
+using nc::testutil::raw_wedge;
+using nc::testutil::spin_until;
+using nc::testutil::StallLatch;
+
+/// The fast, deterministic, model-free codec every test rung bottoms out on.
+const WedgeCodec& zfp_codec() {
+  static nc::bcae::BcaeModel model = nc::bcae::make_bcae_ht(81);
+  static const std::unique_ptr<WedgeCodec> codec =
+      nc::codec::make_wedge_codec("zfp", model);
+  return *codec;
+}
+
+/// Delegating codec whose compress_batch blocks on a latch: the service's
+/// shared worker stalls deterministically, so staging queues genuinely back
+/// up instead of draining as fast as tests can fill them.
+class GatedCodec : public WedgeCodec {
+ public:
+  explicit GatedCodec(const WedgeCodec& inner) : inner_(inner) {}
+
+  std::uint8_t codec_id() const override { return inner_.codec_id(); }
+  std::string name() const override { return "gated-" + inner_.name(); }
+  std::vector<WedgeEnvelope> compress_batch(
+      const std::vector<Tensor>& wedges) const override {
+    gate_.wait();
+    return inner_.compress_batch(wedges);
+  }
+  std::vector<Tensor> decompress_batch(
+      const std::vector<WedgeEnvelope>& envelopes) const override {
+    return inner_.decompress_batch(envelopes);
+  }
+  void release() const { gate_.release(); }
+
+ private:
+  const WedgeCodec& inner_;
+  mutable StallLatch gate_;
+};
+
+/// Delegating codec that throttles each batch: keeps a backlog standing for
+/// a bounded, known time without ever blocking forever.
+class SlowCodec : public WedgeCodec {
+ public:
+  SlowCodec(const WedgeCodec& inner, std::chrono::milliseconds per_batch)
+      : inner_(inner), per_batch_(per_batch) {}
+
+  std::uint8_t codec_id() const override { return inner_.codec_id(); }
+  std::string name() const override { return "slow-" + inner_.name(); }
+  std::vector<WedgeEnvelope> compress_batch(
+      const std::vector<Tensor>& wedges) const override {
+    std::this_thread::sleep_for(per_batch_);
+    return inner_.compress_batch(wedges);
+  }
+  std::vector<Tensor> decompress_batch(
+      const std::vector<WedgeEnvelope>& envelopes) const override {
+    return inner_.decompress_batch(envelopes);
+  }
+
+ private:
+  const WedgeCodec& inner_;
+  std::chrono::milliseconds per_batch_;
+};
+
+/// Thread-safe ordered-emission recorder for a session sink.
+struct SinkLog {
+  mutable std::mutex mutex;
+  std::vector<std::uint64_t> seqs;
+  std::vector<WedgeEnvelope> envelopes;
+
+  void push(std::uint64_t seq, WedgeEnvelope&& env) {
+    std::lock_guard<std::mutex> lock(mutex);
+    seqs.push_back(seq);
+    envelopes.push_back(std::move(env));
+  }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex);
+    return seqs.size();
+  }
+};
+
+SessionOptions session(const WedgeCodec& codec, SinkLog* log,
+                       std::size_t queue_capacity = 64) {
+  SessionOptions opt;
+  opt.ladder = {&codec};
+  opt.queue_capacity = queue_capacity;
+  if (log != nullptr) {
+    opt.sink = [log](std::uint64_t seq, WedgeEnvelope&& env) {
+      log->push(seq, std::move(env));
+    };
+  }
+  return opt;
+}
+
+/// Manual-admission service options: small shared pool, deterministic ticks.
+ServiceOptions manual_options(std::size_t n_workers = 2,
+                              std::size_t queue = 16) {
+  ServiceOptions opt;
+  opt.pipeline.n_workers = n_workers;
+  opt.pipeline.queue_capacity = queue;
+  opt.pipeline.batch_size = 2;
+  opt.admission_interval_s = 0.0;  // admission_tick() only
+  opt.admission.window = 1;
+  opt.admission.cooldown = 0;
+  return opt;
+}
+
+/// Fill the session's staging queue to the brim and admission-tick until the
+/// predicate holds (the scheduler drains staging concurrently, so one fill
+/// pass may leave the queue transiently shallower than a tick wants to see).
+/// Returns the number of accepted submits; stops filling once `done` holds.
+template <typename Pred>
+int fill_and_tick_until(CompressionService& service, SessionId id,
+                        Pred&& done) {
+  int accepted = 0;
+  const bool ok = spin_until([&] {
+    if (done()) return true;
+    while (service.try_submit(id, raw_wedge(0)) == SubmitResult::kAccepted) {
+      ++accepted;
+    }
+    service.admission_tick();
+    return done();
+  });
+  EXPECT_TRUE(ok) << "admission never reached the expected state";
+  return accepted;
+}
+
+TEST(Service, OpenSessionValidatesLadder) {
+  CompressionService service(manual_options());
+  EXPECT_THROW(service.open_session(SessionOptions{}), std::invalid_argument);
+  SessionOptions null_rung;
+  null_rung.ladder = {nullptr};
+  EXPECT_THROW(service.open_session(std::move(null_rung)),
+               std::invalid_argument);
+  EXPECT_EQ(service.open_sessions(), 0u);
+}
+
+TEST(Service, UnknownSessionIdsAreRejected) {
+  CompressionService service(manual_options());
+  EXPECT_EQ(service.submit(42, raw_wedge(0)), SubmitResult::kClosed);
+  EXPECT_THROW(service.close_session(42), std::invalid_argument);
+  EXPECT_THROW(service.session_stats(42), std::invalid_argument);
+}
+
+TEST(Service, RoundTripMatchesDirectCompressionBitExact) {
+  // Three interleaved sessions over one shared pool: every session's sink
+  // must see the identity sequence 0..n-1 with envelopes bit-identical to
+  // compressing its own wedges directly — multiplexing must be invisible.
+  CompressionService service(manual_options(/*n_workers=*/3));
+  const int kSessions = 3;
+  const int n = 12;
+  std::vector<SinkLog> logs(kSessions);
+  std::vector<SessionId> ids;
+  for (int s = 0; s < kSessions; ++s) {
+    ids.push_back(service.open_session(
+        session(zfp_codec(), &logs[static_cast<std::size_t>(s)])));
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int s = 0; s < kSessions; ++s) {
+      // Session s streams wedges s, s+1, ... so the three streams differ.
+      EXPECT_EQ(service.submit(ids[static_cast<std::size_t>(s)],
+                               raw_wedge(static_cast<std::size_t>(s + i))),
+                SubmitResult::kAccepted);
+    }
+  }
+  for (int s = 0; s < kSessions; ++s) {
+    const auto stats = service.close_session(ids[static_cast<std::size_t>(s)]);
+    EXPECT_EQ(stats.submitted, n);
+    EXPECT_EQ(stats.compressed, n);
+    EXPECT_EQ(stats.shed, 0);
+    EXPECT_EQ(stats.failed, 0);
+    EXPECT_EQ(stats.codec, zfp_codec().name());
+    auto& log = logs[static_cast<std::size_t>(s)];
+    nc::testutil::expect_ordered_identity(log.seqs,
+                                          static_cast<std::uint64_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const auto direct =
+          zfp_codec().compress(raw_wedge(static_cast<std::size_t>(s + i)));
+      const auto& emitted = log.envelopes[static_cast<std::size_t>(i)];
+      EXPECT_EQ(emitted.codec_id, direct.codec_id);
+      ASSERT_EQ(emitted.payload.size(), direct.payload.size());
+      EXPECT_EQ(emitted.payload, direct.payload)
+          << "session " << s << " wedge " << i << " bitstream diverged";
+    }
+  }
+  EXPECT_EQ(service.open_sessions(), 0u);
+  const auto totals = service.finish();
+  EXPECT_EQ(totals.sessions_opened, kSessions);
+  EXPECT_EQ(totals.wedges_scheduled, kSessions * n);
+  EXPECT_EQ(totals.wedges_shed, 0);
+}
+
+TEST(Service, TrySubmitReportsQueueFullOnABackedUpSession) {
+  // One gated worker: nothing drains, so the session's staging queue (plus
+  // the small pipeline intake the scheduler feeds) absorbs a bounded number
+  // of wedges and try_submit must then report the full queue.  No admission
+  // ticks run, so nothing may shed.
+  GatedCodec gated(zfp_codec());
+  auto opt = manual_options(/*n_workers=*/1, /*queue=*/2);
+  opt.drr_quantum = 1;
+  CompressionService service(opt);
+  const auto id = service.open_session(session(gated, nullptr,
+                                               /*queue_capacity=*/4));
+  int accepted = 0;
+  int full = 0;
+  for (int i = 0; i < 64; ++i) {
+    switch (service.try_submit(id, raw_wedge(0))) {
+      case SubmitResult::kAccepted:
+        ++accepted;
+        break;
+      case SubmitResult::kQueueFull:
+        ++full;
+        break;
+      default:
+        FAIL() << "only kAccepted/kQueueFull are possible here";
+    }
+  }
+  EXPECT_GT(full, 0) << "an unbounded session queue would hide overload";
+  EXPECT_LT(accepted, 64);
+  gated.release();
+  const auto stats = service.close_session(id);
+  EXPECT_EQ(stats.submitted, accepted);
+  EXPECT_EQ(stats.compressed, accepted);
+  EXPECT_EQ(stats.shed, 0);
+  EXPECT_GT(stats.queue_depth_hwm, 0);
+  service.finish();
+}
+
+TEST(Service, DrrRoundRobinKeepsAPoliteSessionFlowing) {
+  // A firehose session with ~100 ms of throttled backlog and a polite
+  // session submitting one fast wedge: DRR must schedule the polite wedge
+  // within a round or two, so it emerges while the firehose still has most
+  // of its backlog staged — not after it.
+  SlowCodec slow(zfp_codec(), std::chrono::milliseconds(5));
+  auto opt = manual_options(/*n_workers=*/1, /*queue=*/2);
+  opt.drr_quantum = 2;
+  CompressionService service(opt);
+  SinkLog fire_log;
+  SinkLog polite_log;
+  const auto fire =
+      service.open_session(session(slow, &fire_log, /*queue_capacity=*/64));
+  const auto polite = service.open_session(
+      session(zfp_codec(), &polite_log, /*queue_capacity=*/4));
+  for (int i = 0; i < 48; ++i) {
+    ASSERT_EQ(service.submit(fire, raw_wedge(static_cast<std::size_t>(i))),
+              SubmitResult::kAccepted);
+  }
+  ASSERT_EQ(service.submit(polite, raw_wedge(1)), SubmitResult::kAccepted);
+  ASSERT_TRUE(spin_until([&] { return polite_log.size() == 1; }));
+  EXPECT_LT(fire_log.size(), 48u)
+      << "polite session waited behind the entire firehose backlog";
+  service.close_session(fire);
+  service.close_session(polite);
+  service.finish();
+}
+
+TEST(Service, ShedsOnlyWithLadderExhaustedAndCountsGaps) {
+  // Single-rung ladder + gated worker: admission has nowhere to degrade,
+  // so a sustained full staging queue must latch shedding — early, counted
+  // drops whose sequence numbers surface as sink gaps, never reordering.
+  GatedCodec gated(zfp_codec());
+  auto opt = manual_options(/*n_workers=*/1, /*queue=*/2);
+  opt.drr_quantum = 1;
+  CompressionService service(opt);
+  SinkLog log;
+  const auto id = service.open_session(session(gated, &log,
+                                               /*queue_capacity=*/4));
+  int accepted = 0;
+  int shed_in_fill = 0;
+  ASSERT_TRUE(spin_until([&] {
+    for (;;) {
+      const auto r = service.try_submit(id, raw_wedge(0));
+      if (r == SubmitResult::kAccepted) {
+        ++accepted;
+        continue;
+      }
+      if (r == SubmitResult::kShed) {
+        ++shed_in_fill;
+        return true;  // the latch engaged
+      }
+      break;  // kQueueFull: not latched yet, let admission look
+    }
+    service.admission_tick();
+    return false;
+  }));
+  ASSERT_GT(accepted, 0);
+  EXPECT_EQ(service.session_stats(id).rung, 0u)
+      << "nowhere to degrade on a one-rung ladder";
+  const int kShedWedges = 5;
+  for (int i = 0; i < kShedWedges; ++i) {
+    EXPECT_EQ(service.submit(id, raw_wedge(0)), SubmitResult::kShed)
+        << "latched shedding must drop immediately, not block";
+  }
+  gated.release();
+  const auto closed = service.close_session(id);
+  EXPECT_EQ(closed.shed, shed_in_fill + kShedWedges);
+  EXPECT_EQ(closed.compressed + closed.shed, closed.submitted);
+  EXPECT_EQ(closed.degradations, 0);
+  // Ordered emission with gaps: exactly the accepted wedges come out, in
+  // strictly increasing seq order.
+  std::lock_guard<std::mutex> lock(log.mutex);
+  EXPECT_EQ(static_cast<std::int64_t>(log.seqs.size()), closed.compressed);
+  EXPECT_TRUE(std::is_sorted(log.seqs.begin(), log.seqs.end()));
+  service.finish();
+}
+
+TEST(Service, DegradesDownTheLadderBeforeShedding) {
+  // Two-rung ladder: the same sustained overload that sheds a one-rung
+  // session must first hop this one to its cheaper codec, with nothing
+  // dropped while a rung remained.
+  GatedCodec gated(zfp_codec());
+  auto opt = manual_options(/*n_workers=*/1, /*queue=*/2);
+  opt.drr_quantum = 1;
+  CompressionService service(opt);
+  SinkLog log;
+  SessionOptions sopt;
+  sopt.ladder = {&gated, &zfp_codec()};
+  sopt.queue_capacity = 4;
+  sopt.sink = [&log](std::uint64_t seq, WedgeEnvelope&& env) {
+    log.push(seq, std::move(env));
+  };
+  const auto id = service.open_session(std::move(sopt));
+  const int accepted = fill_and_tick_until(
+      service, id, [&] { return service.session_stats(id).rung == 1; });
+  const auto mid = service.session_stats(id);
+  EXPECT_EQ(mid.degradations, 1);
+  EXPECT_EQ(mid.codec, zfp_codec().name());
+  EXPECT_EQ(mid.shed, 0) << "a rung was available: nothing may shed";
+  gated.release();
+  // More work flows normally under the cheaper codec.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(service.submit(id, raw_wedge(0)), SubmitResult::kAccepted);
+  }
+  const auto closed = service.close_session(id);
+  EXPECT_EQ(closed.compressed, accepted + 4);
+  EXPECT_EQ(closed.shed, 0);
+  EXPECT_EQ(closed.degradations, 1);
+  EXPECT_EQ(static_cast<int>(log.size()), accepted + 4);
+  service.finish();
+}
+
+TEST(Service, RecoveryClimbsBackAfterQuietWindows) {
+  GatedCodec gated(zfp_codec());
+  auto opt = manual_options(/*n_workers=*/1, /*queue=*/2);
+  opt.drr_quantum = 1;
+  opt.admission.recover_window = 2;
+  CompressionService service(opt);
+  SessionOptions sopt;
+  sopt.ladder = {&gated, &zfp_codec()};
+  sopt.queue_capacity = 4;
+  const auto id = service.open_session(std::move(sopt));
+  fill_and_tick_until(service, id,
+                      [&] { return service.session_stats(id).rung == 1; });
+  gated.release();
+  // Once the backlog drains, quiet admission windows climb back to rung 0.
+  ASSERT_TRUE(spin_until([&] {
+    service.admission_tick();
+    return service.session_stats(id).rung == 0;
+  }));
+  const auto stats = service.close_session(id);
+  EXPECT_EQ(stats.degradations, 1);
+  EXPECT_EQ(stats.recoveries, 1);
+  EXPECT_EQ(stats.codec, "gated-" + zfp_codec().name());
+  service.finish();
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (the suite runs under TSan in CI via the tsan label)
+// ---------------------------------------------------------------------------
+
+TEST(Service, ConcurrentFinishVsInFlightSubmits) {
+  // Submitter threads hammer their sessions while the main thread tears the
+  // whole service down: every submit must resolve cleanly (kAccepted wedges
+  // fully emitted, late ones kClosed), with no lost or duplicated wedges.
+  CompressionService service(manual_options(/*n_workers=*/3, /*queue=*/8));
+  const int kThreads = 4;
+  std::vector<SinkLog> logs(kThreads);
+  std::vector<SessionId> ids;
+  for (int t = 0; t < kThreads; ++t) {
+    ids.push_back(service.open_session(
+        session(zfp_codec(), &logs[static_cast<std::size_t>(t)],
+                /*queue_capacity=*/8)));
+  }
+  std::vector<std::int64_t> accepted(kThreads, 0);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < 400; ++i) {
+        const auto result =
+            service.try_submit(ids[static_cast<std::size_t>(t)],
+                               raw_wedge(static_cast<std::size_t>(i)));
+        if (result == SubmitResult::kAccepted) {
+          ++accepted[static_cast<std::size_t>(t)];
+        } else if (result == SubmitResult::kClosed) {
+          break;  // finish() won the race
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+  // Tear down while submitters are mid-flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.finish();
+  for (auto& t : submitters) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    const auto stats = service.close_session(ids[static_cast<std::size_t>(t)]);
+    EXPECT_EQ(stats.submitted, accepted[static_cast<std::size_t>(t)]);
+    EXPECT_EQ(stats.shed, 0);
+    EXPECT_EQ(stats.compressed + stats.failed, stats.submitted);
+    auto& log = logs[static_cast<std::size_t>(t)];
+    std::lock_guard<std::mutex> lock(log.mutex);
+    EXPECT_EQ(static_cast<std::int64_t>(log.seqs.size()), stats.compressed);
+    EXPECT_TRUE(std::is_sorted(log.seqs.begin(), log.seqs.end()));
+  }
+}
+
+TEST(Service, ConcurrentSessionChurn) {
+  // Sessions opening, streaming and closing concurrently while admission
+  // ticks race them: the session map, scheduler rounds and admission passes
+  // all contend here.  Queues are deep enough (16 wedges into capacity 32,
+  // depth <= 0.5) that admission always holds — nothing may shed.
+  CompressionService service(manual_options(/*n_workers=*/3, /*queue=*/8));
+  std::atomic<std::int64_t> total_compressed{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      for (int round = 0; round < 3; ++round) {
+        const auto id = service.open_session(
+            session(zfp_codec(), nullptr, /*queue_capacity=*/32));
+        for (int i = 0; i < 16; ++i) {
+          EXPECT_EQ(
+              service.submit(id, raw_wedge(static_cast<std::size_t>(t + i))),
+              SubmitResult::kAccepted);
+        }
+        service.admission_tick();  // races the other clients' churn
+        total_compressed.fetch_add(service.close_session(id).compressed);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(total_compressed.load(), 4 * 3 * 16);
+  const auto totals = service.finish();
+  EXPECT_EQ(totals.sessions_opened, 12);
+  EXPECT_EQ(totals.wedges_shed, 0);
+  EXPECT_EQ(totals.pipeline.wedges_failed, 0);
+}
+
+}  // namespace

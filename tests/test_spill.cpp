@@ -139,7 +139,7 @@ TEST(SpillLog, QuotaExceededThrowsAndLeavesLogUsable) {
   opt.dir = fresh_dir();
   const std::string payload = payload_for(0);
   // Room for the header plus exactly two records.
-  opt.max_bytes = 12 + 2 * (20 + payload.size());
+  opt.max_bytes = 16 + 2 * (20 + payload.size());
   SpillLog log(opt);
   log.append(0, payload);
   log.append(1, payload);
@@ -208,7 +208,7 @@ TEST(SpillReader, TruncatedSegmentThrowsNotUB) {
   EXPECT_THROW(reader.next(rec), SerializeError);
 
   // Chop mid-header too (a short write that died between fwrites).
-  fs::resize_file(path, 12 + 5);
+  fs::resize_file(path, 16 + 5);
   SpillReader short_reader(path);
   EXPECT_THROW(short_reader.next(rec), SerializeError);
 }
@@ -217,12 +217,12 @@ TEST(SpillReader, FlippedPayloadByteFailsCrc) {
   const std::string dir = fresh_dir();
   const std::string path = write_kept_segment(dir, 1);
   {
-    // Record starts after the 12-byte segment header; its payload after the
+    // Record starts after the 16-byte segment header; its payload after the
     // 16-byte record header.
     std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
-    f.seekg(12 + 16);
+    f.seekg(16 + 16);
     char c = static_cast<char>(f.get());
-    f.seekp(12 + 16);
+    f.seekp(16 + 16);
     f.put(static_cast<char>(c ^ 0x40));
   }
   SpillReader reader(path);
@@ -244,12 +244,12 @@ TEST(SpillReader, ZeroByteSegmentRejected) {
 }
 
 TEST(SpillReader, TruncatedMidSegmentHeaderRejected) {
-  // Chop inside the 12-byte segment header itself (mid-magic and
-  // mid-version): the constructor must throw, as existing tests only cover
-  // cuts inside a record.
+  // Chop inside the 16-byte segment header itself (mid-magic, mid-version
+  // and mid-codec-id): the constructor must throw, as existing tests only
+  // cover cuts inside a record.
   const std::string dir = fresh_dir();
   const std::string path = write_kept_segment(dir, 1);
-  for (const std::uintmax_t keep : {5u, 10u}) {
+  for (const std::uintmax_t keep : {5u, 10u, 14u}) {
     fs::resize_file(path, keep);
     EXPECT_THROW(SpillReader reader(path), SerializeError)
         << "segment truncated to " << keep << " bytes must not parse";
@@ -265,6 +265,61 @@ TEST(SpillReader, UnknownVersionRejected) {
     f.put(static_cast<char>(0x7F));
   }
   EXPECT_THROW(SpillReader reader(path), SerializeError);
+}
+
+/// write_kept_segment with a codec id stamped into the segment header (the
+/// v2 format gate under test below).
+std::string write_tagged_segment(const std::string& dir, std::uint32_t codec_id,
+                                 int n) {
+  // fresh_dir() only cleans the exact per-test path; callers pass suffixed
+  // variants too, so scrub here or a prior run's segment doubles the count.
+  fs::remove_all(dir);
+  SpillOptions opt;
+  opt.dir = dir;
+  opt.keep = true;
+  opt.codec_id = codec_id;
+  SpillLog log(opt);
+  for (int i = 0; i < n; ++i) {
+    log.append(static_cast<std::uint64_t>(i), payload_for(i));
+  }
+  log.close();
+  const auto files = segment_files(dir);
+  EXPECT_EQ(files.size(), 1u);
+  return files.front();
+}
+
+TEST(SpillReader, CodecIdMismatchRejectedAtOpen) {
+  // A keep-mode log written under one --codec and replayed under another
+  // used to feed foreign payloads to the decoder and fail per-wedge as
+  // wedges_failed; the v2 header gate must reject it at open instead.
+  const std::string dir = fresh_dir();
+  const std::string path = write_tagged_segment(dir, /*codec_id=*/3, 2);
+  EXPECT_THROW(SpillReader reader(path, /*expected_codec_id=*/16),
+               SerializeError);
+}
+
+TEST(SpillReader, CodecIdMatchAndUntaggedBothAccepted) {
+  const std::string dir = fresh_dir();
+  const std::string path = write_tagged_segment(dir, /*codec_id=*/3, 2);
+  {
+    // Exact match: reads through.
+    SpillReader reader(path, /*expected_codec_id=*/3);
+    EXPECT_EQ(reader.header().codec_id, 3u);
+    SpillRecord rec;
+    ASSERT_TRUE(reader.next(rec));
+    EXPECT_EQ(rec.payload, payload_for(0));
+  }
+  {
+    // A reader that does not care (expected 0) skips the gate but still
+    // surfaces the stamp for its own bookkeeping.
+    SpillReader reader(path);
+    EXPECT_EQ(reader.header().codec_id, 3u);
+  }
+  // An untagged (pre-tagging writer) segment passes any expectation.
+  const std::string dir2 = fresh_dir() + "-untagged";
+  const std::string path2 = write_tagged_segment(dir2, /*codec_id=*/0, 1);
+  SpillReader reader(path2, /*expected_codec_id=*/16);
+  EXPECT_EQ(reader.header().codec_id, 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -352,7 +407,7 @@ TEST_P(SpillPipelineIntake, DiskFullSurfacesAsCountedDropsNotAHang) {
   opt.n_workers = 2;
   opt.ordered = true;
   opt.spill_dir = fresh_dir();
-  opt.spill_max_bytes = 12 + 3 * (20 + sizeof(int));  // header + ~3 records
+  opt.spill_max_bytes = 16 + 3 * (20 + sizeof(int));  // header + ~3 records
   std::vector<std::uint64_t> seqs;
   IntPipeline pipeline(
       opt,
@@ -497,6 +552,37 @@ TEST_P(SpillPipelineIntake, CompressorBurstMatchesUnboundedRunBitExact) {
     EXPECT_EQ(std::memcmp(a.payload.data(), b.payload.data(), a.payload.size()),
               0)
         << "wedge " << i << " bitstream diverged";
+  }
+}
+
+TEST(SpillCodecId, CompressorStampsItsCodecIntoKeptSegments) {
+  // The stream layer fills StreamOptions::spill_codec_id from its codec, so
+  // every kept segment is tagged — replay tooling pointed at the wrong
+  // codec is rejected at open (the satellite bugfix), and the right codec
+  // sails through.
+  auto model = nc::bcae::make_bcae_ht(81);
+  BcaeWedgeCodec codec(model, Mode::kEval);
+  StreamOptions opt;
+  opt.queue_capacity = 4;
+  opt.batch_size = 2;
+  opt.n_workers = 2;
+  opt.spill_dir = fresh_dir();
+  opt.spill_keep = true;
+  StreamCompressor stream(codec, opt, [](WedgeEnvelope&&) {});
+  const int n = 24;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(stream.try_submit(raw_wedge(static_cast<std::size_t>(i))));
+  }
+  const auto stats = stream.finish();
+  ASSERT_GT(stats.wedges_spilled, 0);
+  const auto files = segment_files(opt.spill_dir);
+  ASSERT_FALSE(files.empty());
+  for (const auto& path : files) {
+    SpillReader reader(path, codec.codec_id());  // matching id: opens fine
+    EXPECT_EQ(reader.header().codec_id,
+              static_cast<std::uint32_t>(codec.codec_id()));
+    EXPECT_THROW(SpillReader(path, codec.codec_id() + 1), SerializeError)
+        << "a different codec must be rejected at open";
   }
 }
 

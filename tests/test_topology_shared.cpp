@@ -1,0 +1,166 @@
+/// \file test_topology_shared.cpp
+/// \brief Two pipelines sharing one process topology: the system_topology()
+///        cache must be safe under concurrent first use, and concurrent
+///        claim_cpu_slots() callers must never double-book a core slot.
+///
+/// This suite runs in its own binary so the FIRST touch of the topology
+/// cache happens here, concurrently — linking it into an existing suite
+/// would let some earlier test warm the cache single-threaded and the race
+/// would never be exercised.  The suite carries the `tsan` label; its
+/// `notopo` variant (NC_TOPOLOGY=off) covers the everything-disabled path
+/// where every claim is empty and every pipeline runs unpinned.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "codec/stream_pipeline.hpp"
+#include "tests/stream_test_utils.hpp"
+#include "util/topology.hpp"
+
+namespace {
+
+using nc::testutil::IntPipeline;
+using nc::util::CpuInfo;
+using nc::util::system_topology;
+
+/// MUST run first in this binary: many threads race the topology cache's
+/// one-time detection.  Every thread must observe the same fully-built
+/// object (same address, same contents) — a torn or doubly-run detection
+/// shows up here as a TSan report or a mismatched snapshot.
+TEST(SharedTopology, ConcurrentFirstUseYieldsOneTopology) {
+  const int kThreads = 8;
+  std::atomic<int> ready{0};
+  std::vector<const nc::util::Topology*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+        // busy-spin so all threads hit the cache as close together as we
+        // can arrange
+      }
+      seen[static_cast<std::size_t>(t)] = &system_topology();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0])
+        << "thread " << t << " saw a different Topology object";
+  }
+  ASSERT_NE(seen[0], nullptr);
+  EXPECT_GE(seen[0]->cpus.size(), seen[0]->affinity_supported ? 1u : 0u);
+  EXPECT_GE(seen[0]->n_nodes, 1);
+}
+
+TEST(SharedTopology, ConcurrentClaimsNeverOverlapUntilWrap) {
+  // Concurrent claimers must get non-overlapping slot runs as long as the
+  // combined claim fits in the CPU set; past that the cursor wraps by
+  // design and overlap is legal.
+  const auto& topo = system_topology();
+  if (!topo.affinity_supported || topo.cpus.empty()) {
+    EXPECT_TRUE(nc::util::claim_cpu_slots(4).empty())
+        << "claims must be empty when affinity is unavailable";
+    GTEST_SKIP() << "affinity unsupported or disabled; nothing to book";
+  }
+  const std::size_t per_claim = 2;
+  const std::size_t n_claimers = topo.cpus.size() / per_claim;
+  if (n_claimers < 2) {
+    GTEST_SKIP() << "needs >= 4 allowed CPUs to see two disjoint claims";
+  }
+  std::vector<std::vector<CpuInfo>> claims(n_claimers);
+  {
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < n_claimers; ++c) {
+      threads.emplace_back(
+          [&, c] { claims[c] = nc::util::claim_cpu_slots(per_claim); });
+    }
+    for (auto& t : threads) t.join();
+  }
+  // Claims are consecutive cursor ranges mapped mod cpus.size(): two slots
+  // collide only when their indices differ by a full pass, and this test's
+  // combined claim (n_claimers * per_claim <= cpus.size()) never spans one —
+  // wherever earlier tests left the cursor.  So every booked cpu is unique.
+  std::multiset<int> booked;
+  for (const auto& claim : claims) {
+    ASSERT_EQ(claim.size(), per_claim);
+    for (const auto& slot : claim) booked.insert(slot.cpu);
+  }
+  for (const int cpu : std::set<int>(booked.begin(), booked.end())) {
+    EXPECT_EQ(booked.count(cpu), 1u) << "cpu " << cpu << " double-booked";
+  }
+}
+
+TEST(SharedTopology, TwoPinnedPipelinesGetDisjointCores) {
+  // The regression this PR's scheduler work exposed: two pipelines built in
+  // one process must not both pin worker 0 to cpu 0.  Skipped (vacuous)
+  // when there are not enough cores for two disjoint pools.
+  const auto& topo = system_topology();
+  const std::size_t kWorkers = 2;
+  nc::codec::StreamOptions opt;
+  opt.n_workers = kWorkers;
+  opt.max_workers = kWorkers;
+  opt.queue_capacity = 8;
+  opt.batch_size = 2;
+  opt.pin_workers = true;
+
+  std::atomic<int> sink_count{0};
+  const auto make = [&] {
+    return std::make_unique<IntPipeline>(
+        opt,
+        [](std::vector<int>&& batch) {
+          std::vector<int> out;
+          for (int v : batch) out.push_back(v + 1);
+          return out;
+        },
+        [](const int&) { return std::size_t{0}; },
+        [&](std::uint64_t, int&&) { sink_count.fetch_add(1); });
+  };
+  // Build both pipelines concurrently: their claim_cpu_slots calls race.
+  std::unique_ptr<IntPipeline> a;
+  std::unique_ptr<IntPipeline> b;
+  {
+    std::thread ta([&] { a = make(); });
+    std::thread tb([&] { b = make(); });
+    ta.join();
+    tb.join();
+  }
+  for (int i = 0; i < 16; ++i) {
+    a->submit(i);
+    b->submit(i);
+  }
+  if (!topo.affinity_supported || topo.cpus.empty()) {
+    EXPECT_TRUE(a->placement().empty());
+    EXPECT_TRUE(b->placement().empty());
+  } else if (topo.cpus.size() >= 2 * kWorkers) {
+    ASSERT_EQ(a->placement().size(), kWorkers);
+    ASSERT_EQ(b->placement().size(), kWorkers);
+    std::set<int> cores_a;
+    std::set<int> cores_b;
+    for (const auto& slot : a->placement()) cores_a.insert(slot.cpu);
+    for (const auto& slot : b->placement()) cores_b.insert(slot.cpu);
+    // The two pools' claims are consecutive cursor ranges totalling
+    // 2 * kWorkers <= cpus.size() slots, so they can never collide mod the
+    // CPU count — wherever earlier tests left the cursor.
+    EXPECT_EQ(cores_a.size(), kWorkers) << "pipeline A double-booked itself";
+    EXPECT_EQ(cores_b.size(), kWorkers) << "pipeline B double-booked itself";
+    std::vector<int> shared;
+    std::set_intersection(cores_a.begin(), cores_a.end(), cores_b.begin(),
+                          cores_b.end(), std::back_inserter(shared));
+    EXPECT_TRUE(shared.empty())
+        << "pipelines share a core despite " << topo.cpus.size()
+        << " allowed CPUs";
+  }
+  a->finish();
+  b->finish();
+  EXPECT_EQ(sink_count.load(), 32);
+}
+
+}  // namespace
